@@ -1,0 +1,58 @@
+"""Figure 6 — weak scaling of AxoNN on Frontier, Perlmutter, and Alps.
+
+Regenerates the time-per-batch series for the paper's (model, #devices)
+schedule on each machine, reporting weak-scaling efficiency relative to
+the smallest point.  Paper anchors (Frontier): near-perfect scaling to
+8,192 GCDs (88.3% vs 512), 79.0% at 16,384, 53.5% at 32,768.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.cluster import ALPS, FRONTIER, PERLMUTTER
+from repro.simulate import weak_scaling_sweep, weak_scaling_efficiency
+
+#: Paper Fig. 6 anchor efficiencies (relative per-GPU throughput).
+PAPER_FRONTIER_EFF = {8192: 0.883, 16384: 0.790, 32768: 0.535}
+
+
+@pytest.mark.parametrize(
+    "machine", [FRONTIER, PERLMUTTER, ALPS], ids=lambda m: m.name
+)
+def test_fig6_weak_scaling(benchmark, report, machine):
+    points = run_once(benchmark, lambda: weak_scaling_sweep(machine))
+
+    report.line(f"Figure 6 — weak scaling on {machine.name} (time per batch)")
+    rows = []
+    base = points[0]
+    for p in points:
+        eff = weak_scaling_efficiency(base.metrics, p.metrics)
+        paper = PAPER_FRONTIER_EFF.get(p.num_gpus, "") if machine is FRONTIER else ""
+        rows.append(
+            [
+                p.model,
+                p.num_gpus,
+                str(p.config),
+                f"{p.result.total_time:.2f}s",
+                f"{100 * eff:.1f}%",
+                f"{100 * paper:.1f}%" if paper else "-",
+            ]
+        )
+    report.table(
+        ["model", "#devices", "config", "batch time", "efficiency", "paper eff."],
+        rows,
+    )
+
+    # Shape assertions: high efficiency at mid-scale, a cliff at the top
+    # of the Frontier series.
+    effs = {
+        p.num_gpus: weak_scaling_efficiency(base.metrics, p.metrics)
+        for p in points
+    }
+    if machine is FRONTIER:
+        assert effs[8192] > 0.75
+        assert 0.35 < effs[32768] < 0.75
+        assert effs[32768] < effs[8192]
+    else:
+        assert min(effs.values()) > 0.5

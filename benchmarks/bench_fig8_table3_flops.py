@@ -1,0 +1,83 @@
+"""Figure 8 / Table III — sustained bf16 flop/s for weak scaling.
+
+Regenerates Table III: total Pflop/s, % of the advertised peak, and % of
+the empirically-measured peak for every (machine, model, #devices) row.
+Paper headline rows: Perlmutter 620.1 Pflop/s @ 4,096 A100s; Frontier
+1,381 Pflop/s @ 32,768 GCDs (22.0% adv / 33.8% emp); Alps 1,423 Pflop/s
+@ 6,144 H100s.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.cluster import ALPS, FRONTIER, PERLMUTTER
+from repro.simulate import weak_scaling_sweep
+
+#: Table III of the paper: (machine, #devices) -> (Pflop/s, %adv, %emp).
+PAPER_TABLE3 = {
+    ("perlmutter", 512): (80.8, 50.6, 56.2),
+    ("perlmutter", 1024): (197.8, 61.9, 68.8),
+    ("perlmutter", 2048): (352.5, 55.2, 61.3),
+    ("perlmutter", 4096): (620.1, 48.5, 53.9),
+    ("frontier", 512): (40.4, 41.1, 63.3),
+    ("frontier", 1024): (77.3, 39.3, 60.4),
+    ("frontier", 2048): (145.7, 37.0, 57.0),
+    ("frontier", 4096): (295.9, 37.6, 57.9),
+    ("frontier", 8192): (571.4, 36.3, 56.0),
+    ("frontier", 16384): (1019.9, 32.4, 49.9),
+    ("frontier", 32768): (1381.0, 22.0, 33.8),
+    ("alps", 1024): (310.0, 30.6, 37.3),
+    ("alps", 2048): (621.6, 30.7, 37.4),
+    ("alps", 4096): (1095.8, 27.0, 33.0),
+    ("alps", 6144): (1423.1, 23.4, 28.6),
+}
+
+
+@pytest.mark.parametrize(
+    "machine", [PERLMUTTER, FRONTIER, ALPS], ids=lambda m: m.name
+)
+def test_fig8_table3_sustained_flops(benchmark, report, machine):
+    points = run_once(benchmark, lambda: weak_scaling_sweep(machine))
+
+    report.line(f"Table III / Fig. 8 — sustained flop/s on {machine.name}")
+    rows = []
+    for p in points:
+        paper = PAPER_TABLE3[(machine.name, p.num_gpus)]
+        rows.append(
+            [
+                p.model,
+                p.num_gpus,
+                f"{p.metrics.pflops:.1f}",
+                f"{paper[0]:.1f}",
+                f"{p.metrics.pct_advertised_peak:.1f}",
+                f"{paper[1]:.1f}",
+                f"{p.metrics.pct_empirical_peak:.1f}",
+                f"{paper[2]:.1f}",
+            ]
+        )
+    report.table(
+        [
+            "model", "#dev",
+            "Pflop/s", "(paper)",
+            "%adv", "(paper)",
+            "%emp", "(paper)",
+        ],
+        rows,
+    )
+
+    # Shape assertions per machine.
+    by_gpus = {p.num_gpus: p.metrics for p in points}
+    for p in points:
+        paper = PAPER_TABLE3[(machine.name, p.num_gpus)]
+        # Within 2x of every paper row; flop/s monotone with scale.
+        assert 0.5 < p.metrics.pflops / paper[0] < 2.0
+        assert p.metrics.pct_empirical_peak > p.metrics.pct_advertised_peak
+    flops_series = [p.metrics.total_flops for p in points]
+    assert flops_series == sorted(flops_series)
+    if machine is FRONTIER:
+        # The 32k-GCD headline: > 1.1 Eflop/s and the % of peak cliff.
+        assert by_gpus[32768].total_flops > 1.1e18
+        assert by_gpus[32768].pct_advertised_peak < by_gpus[8192].pct_advertised_peak
+    if machine is ALPS:
+        assert by_gpus[6144].total_flops > 1.0e18

@@ -1,0 +1,85 @@
+"""Section V-C anecdote — automated BLAS kernel tuning on GPT-320B.
+
+Regenerates the paper's headline tuning result: on Frontier, the
+weight-gradient matmul of GPT-320B defaults to a TN kernel running at
+~6% of peak while its NN sibling reaches ~55%; the autotuner switches it
+to NN (~8x faster kernel), cutting total per-batch compute from 30.1 s
+to 13.19 s.  Also regenerates the modest (2-4%) tuning gains for the
+smaller models of Fig. 7.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.cluster import FRONTIER
+from repro.config import get_model
+from repro.core import GridConfig
+from repro.kernels import GemmModel
+from repro.simulate import simulate_iteration
+
+
+def test_kernel_tuning_gpt320b_anecdote(benchmark, report):
+    cfg = get_model("GPT-320B")
+    config = GridConfig(2, 1, 16, 1024)  # local dW dims stay pathological
+    batch = 8192
+
+    def experiment():
+        off = simulate_iteration(cfg, batch, config, FRONTIER, kernel_tuning=False)
+        on = simulate_iteration(cfg, batch, config, FRONTIER, kernel_tuning=True)
+        return off, on
+
+    off, on = run_once(benchmark, experiment)
+
+    gemm = GemmModel(FRONTIER)
+    h = cfg.hidden_size
+    # The pathological op: the FC2 weight-gradient GEMM's local shape
+    # under this grid — dW = I^T @ dO with output dims (4h/G_x, h).
+    m_l = 8192 // 1024 * cfg.seq_len // 16  # rows per rank
+    tn_eff = gemm.efficiency(2 * h, m_l, h, "TN")
+    nn_eff = gemm.efficiency(2 * h, m_l, h, "NN")
+
+    report.line("Section V-C — kernel tuning on GPT-320B (Frontier)")
+    report.table(
+        ["quantity", "this repro", "paper"],
+        [
+            ["TN kernel % of peak", f"{100 * tn_eff:.1f}%", "~6%"],
+            ["NN kernel % of peak", f"{100 * nn_eff:.1f}%", "~55%"],
+            ["kernel speedup TN->NN", f"{nn_eff / tn_eff:.1f}x", "~8x"],
+            ["compute / batch, untuned", f"{off.compute_time:.2f}s", "30.1s"],
+            ["compute / batch, tuned", f"{on.compute_time:.2f}s", "13.19s"],
+        ],
+    )
+
+    assert nn_eff / tn_eff == pytest.approx(8.0, rel=0.1)
+    assert 20 < off.compute_time < 45
+    assert 8 < on.compute_time < 20
+    assert on.compute_time < off.compute_time / 2
+
+
+def test_kernel_tuning_modest_for_smaller_models(benchmark, report):
+    """Fig. 7's observation: 2-4% batch-time gains from tuning for the
+    5B-80B models (their hidden sizes dodge the worst TN pathology)."""
+
+    def experiment():
+        out = []
+        for model_name, gcds in [("GPT-5B", 512), ("GPT-20B", 2048)]:
+            cfg = get_model(model_name)
+            config = GridConfig(8, 1, 4, gcds // 32)
+            batch = 2 * gcds
+            off = simulate_iteration(cfg, batch, config, FRONTIER, kernel_tuning=False)
+            on = simulate_iteration(cfg, batch, config, FRONTIER, kernel_tuning=True)
+            out.append((model_name, off, on))
+        return out
+
+    results = run_once(benchmark, experiment)
+    report.line("Kernel tuning gains for smaller models (paper: 2-4%)")
+    rows = []
+    for model_name, off, on in results:
+        gain = 1 - on.total_time / off.total_time
+        rows.append(
+            [model_name, f"{off.total_time:.2f}s", f"{on.total_time:.2f}s",
+             f"{100 * gain:.1f}%"]
+        )
+        assert 0.0 <= gain < 0.12
+    report.table(["model", "untuned", "tuned", "gain"], rows)

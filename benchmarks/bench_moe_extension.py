@@ -1,0 +1,93 @@
+"""Extension — expert parallelism for Mixture-of-Experts models.
+
+The authors extend AxoNN with hybrid tensor-expert-data parallelism for
+MoE training (the paper's reference [17]).  This benchmark reproduces
+the two structural facts that work rests on, at GPT-80B-class layer
+dimensions on Frontier:
+
+1. MoE scales parameters ~linearly with the expert count at constant
+   per-token compute (top-k routing);
+2. expert parallelism keeps that compute flat while its all-to-all cost
+   grows with the expert-parallel width — cheap inside a node, priced in
+   NIC bandwidth across nodes — which is exactly the trade-off a hybrid
+   scheme must balance against tensor/data parallelism.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+
+from repro.cluster import FRONTIER
+from repro.moe import MoELayer, simulate_moe_layer
+from repro.tensor import Tensor
+
+DIM = 12288  # GPT-80B hidden size
+HIDDEN = 4 * DIM
+TOKENS_PER_RANK = 2048
+
+
+def test_moe_parameter_vs_compute_scaling(benchmark, report):
+    def experiment():
+        rows = []
+        for e in (2, 4, 8, 16):
+            layer = MoELayer(
+                64, e, hidden=256, k=2, rng=np.random.default_rng(0)
+            )
+            idx, _, _ = layer.router.route(
+                Tensor(np.random.default_rng(1).standard_normal((32, 64)))
+            )
+            rows.append((e, layer.num_parameters(), idx.size))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report.line("MoE scaling: parameters grow with experts, compute does not")
+    report.table(
+        ["experts", "parameters", "expert token-evals (32 tokens, k=2)"],
+        [[e, f"{p:,}", evals] for e, p, evals in rows],
+    )
+    params = [p for _, p, _ in rows]
+    evals = [v for _, _, v in rows]
+    assert params == sorted(params) and params[-1] > 4 * params[0]
+    assert len(set(evals)) == 1  # constant compute
+
+
+def test_expert_parallel_cost_model(benchmark, report):
+    def experiment():
+        out = []
+        for ep in (1, 2, 8, 64, 512):
+            r = simulate_moe_layer(
+                TOKENS_PER_RANK, DIM, HIDDEN, max(ep, 8), ep, FRONTIER
+            )
+            out.append(r)
+        return out
+
+    results = run_once(benchmark, experiment)
+    report.line(
+        f"Expert-parallel MoE layer (dim {DIM}, {TOKENS_PER_RANK} "
+        "tokens/rank) on Frontier"
+    )
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r.expert_parallel,
+                f"{r.expert_compute * 1e3:.1f} ms",
+                f"{(r.dispatch_time + r.combine_time) * 1e3:.1f} ms",
+                f"{100 * r.comm_fraction:.1f}%",
+            ]
+        )
+    report.table(
+        ["expert-parallel ranks", "expert compute", "all-to-all", "comm share"],
+        rows,
+    )
+
+    # Compute per rank is flat; the communication share grows with the
+    # expert-parallel width once it leaves the node.
+    comps = [r.expert_compute for r in results]
+    assert max(comps) == pytest.approx(min(comps))
+    fracs = [r.comm_fraction for r in results]
+    assert fracs[0] == 0.0
+    assert fracs[-1] > fracs[1]
+    assert fracs[-1] > 0.05
+

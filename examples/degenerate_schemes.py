@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""One algorithm, many names: the 4D grid's degenerate cases.
+
+Section V-A observes that the 4D hybrid algorithm generalizes the
+state-of-the-art parallel training schemes.  This example builds each
+named special case, trains the *same* tiny GPT under it, shows that all
+of them compute identical losses (they are the same mathematical
+algorithm), and prints each scheme's communication signature — which is
+where they actually differ.
+
+Run:  python examples/degenerate_schemes.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.config import GPTConfig
+from repro.core import DEGENERATE_SCHEMES, ParallelGPT, make_degenerate_grid
+from repro.nn import GPT
+from repro.runtime import CommTracer
+
+
+def main() -> None:
+    cfg = GPTConfig(
+        name="demo", num_layers=2, hidden_size=16, num_heads=4,
+        seq_len=12, vocab_size=32,
+    )
+    serial = GPT(cfg, seed=1)
+    ids = np.random.default_rng(0).integers(0, cfg.vocab_size, (4, 10))
+    ref_loss = serial.loss(ids).item()
+    print(f"serial reference loss: {ref_loss:.6f}\n")
+
+    for name in ("fsdp", "hsdp", "megatron", "pure_data", "axonn_4d"):
+        scheme = DEGENERATE_SCHEMES[name]
+        tracer = CommTracer()
+        grid = make_degenerate_grid(name, 4, tracer=tracer)
+        model = ParallelGPT.from_serial(serial, grid)
+        loss = model.loss(ids).item()
+
+        sig = Counter(
+            r.tag for r in tracer.records if r.group.size > 1
+        )
+        print(f"{name:<10} {scheme.description}")
+        print(f"  grid {grid.config}   loss {loss:.6f} (diff {abs(loss - ref_loss):.2e})")
+        if sig:
+            top = ", ".join(f"{t} x{c}" for t, c in sorted(sig.items()))
+            print(f"  collectives: {top}")
+        else:
+            print("  collectives: none (replica-local computation)")
+        assert abs(loss - ref_loss) < 1e-9
+        print()
+
+    print("all five schemes compute the identical loss — they are special")
+    print("cases of one 4D algorithm, differing only in communication.")
+
+
+if __name__ == "__main__":
+    main()

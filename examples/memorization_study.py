@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Memorization study: catastrophic memorization and the Goldfish fix.
+
+Reproduces Section VIII at example scale: a ladder of GPT models is
+continued-pre-trained on bucketed documents repeated 1/4/6 times (plus a
+0-epoch control bucket), and memorization is measured as exact
+reproduction of each document's suffix — first with the standard loss,
+then with the Goldfish loss (k=2, h=13).
+
+Run:  python examples/memorization_study.py [n_models]
+(default 2 models, ~1 minute; 3 models takes a few minutes)
+"""
+
+import sys
+
+from repro.memorization import ExperimentConfig, run_experiment, scale_ladder
+
+
+def main(n_models: int) -> None:
+    exp = ExperimentConfig()
+    ladder = scale_ladder()[:n_models]
+    print(
+        f"protocol: {exp.docs_per_bucket} docs/bucket x epochs "
+        f"{exp.epochs_schedule}, {exp.doc_len}-token articles, "
+        f"{exp.suffix_len}-token exact-match suffix\n"
+    )
+
+    header = f"{'model':<12}{'params':<10}{'loss':<10}{'1 ep':<7}{'4 ep':<7}{'6 ep':<7}{'control':<8}"
+    print(header)
+    print("-" * len(header))
+    for cfg in ladder:
+        for goldfish in (False, True):
+            r = run_experiment(cfg, exp, goldfish=goldfish)
+            print(
+                f"{cfg.name:<12}{cfg.num_parameters():<10,}"
+                f"{'goldfish' if goldfish else 'standard':<10}"
+                f"{100 * r.exact_match[1]:<7.1f}"
+                f"{100 * r.exact_match[4]:<7.1f}"
+                f"{100 * r.exact_match[6]:<7.1f}"
+                f"{100 * r.exact_match[0]:<8.1f}"
+            )
+
+    print(
+        "\nreading the table: memorization (exact-match %) grows with"
+        "\nrepetition and model capacity under the standard loss, while the"
+        "\nGoldfish loss holds it at control level — Figs. 10 and 11."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2)

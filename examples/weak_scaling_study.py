@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Weak-scaling study: regenerate the paper's headline performance runs.
+
+Sweeps the paper's (model, #devices) schedule on one (or all) of the
+three machines, printing time per batch, sustained flop/s, and the
+percentage of advertised/empirical peak — the data behind Figs. 6 and 8
+and Table III.
+
+Run:  python examples/weak_scaling_study.py [machine|all]
+"""
+
+import sys
+
+from repro.cluster import MACHINES
+from repro.simulate import weak_scaling_sweep, weak_scaling_efficiency
+
+
+def study(machine_name: str) -> None:
+    machine = MACHINES[machine_name]
+    print(f"\n=== weak scaling on {machine.name} ===")
+    header = (
+        f"{'model':<10}{'#devices':<10}{'config':<34}"
+        f"{'batch':<9}{'Pflop/s':<9}{'%adv':<7}{'%emp':<7}{'eff':<6}"
+    )
+    print(header)
+    print("-" * len(header))
+    points = weak_scaling_sweep(machine)
+    base = points[0]
+    for p in points:
+        eff = weak_scaling_efficiency(base.metrics, p.metrics)
+        print(
+            f"{p.model:<10}{p.num_gpus:<10}{str(p.config):<34}"
+            f"{p.result.total_time:<9.2f}{p.metrics.pflops:<9.1f}"
+            f"{p.metrics.pct_advertised_peak:<7.1f}"
+            f"{p.metrics.pct_empirical_peak:<7.1f}"
+            f"{eff:<6.2f}"
+        )
+    peak = max(points, key=lambda p: p.metrics.total_flops)
+    print(
+        f"\npeak sustained: {peak.metrics.total_flops / 1e15:.0f} Pflop/s "
+        f"({peak.model} on {peak.num_gpus} devices)"
+    )
+
+
+if __name__ == "__main__":
+    which = sys.argv[1] if len(sys.argv) > 1 else "all"
+    if which == "all":
+        for name in ("perlmutter", "frontier", "alps"):
+            study(name)
+    else:
+        study(which)

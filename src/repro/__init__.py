@@ -1,0 +1,49 @@
+"""repro — reproduction of "Democratizing AI: Open-source Scalable LLM
+Training on GPU-based Supercomputers" (SC '24).
+
+The package rebuilds the paper's system, AxoNN, in pure Python:
+
+* :mod:`repro.core` — the 4D hybrid parallel algorithm (Algorithm 1's
+  3D parallel matrix multiply x data parallelism), functionally verified
+  against serial training on a virtual SPMD runtime;
+* :mod:`repro.perfmodel` — the communication performance model
+  (Eqs. 1-7) that ranks 4D grid configurations;
+* :mod:`repro.kernels` — platform GEMM models, the NN/NT/TN autotuner,
+  and analytical FLOP accounting;
+* :mod:`repro.simulate` — the discrete-event performance simulator that
+  stands in for Perlmutter, Frontier, and Alps;
+* :mod:`repro.memorization` — the catastrophic-memorization study and
+  the Goldfish loss;
+* :mod:`repro.cluster`, :mod:`repro.runtime`, :mod:`repro.tensor`,
+  :mod:`repro.nn` — the substrates (machines/network, virtual ring
+  collectives, autograd engine, GPT reference model).
+
+Quick start::
+
+    from repro import axonn_init
+    ctx = axonn_init(gx=2, gy=2, gz=2, gdata=1)
+    model = ctx.parallelize("GPT-5B")       # 4D-parallel GPT
+"""
+
+from .config import (
+    DEFAULT_SEQ_LEN,
+    DEFAULT_VOCAB_SIZE,
+    MODEL_ZOO,
+    GPTConfig,
+    get_model,
+)
+from .core.axonn import AxoNN
+from .core.axonn import init as axonn_init
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPTConfig",
+    "MODEL_ZOO",
+    "get_model",
+    "DEFAULT_SEQ_LEN",
+    "DEFAULT_VOCAB_SIZE",
+    "AxoNN",
+    "axonn_init",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Hardware substrate: machine specs, rank placement, and network model."""
+
+from .machine import (
+    ALPS,
+    FRONTIER,
+    MACHINES,
+    PERLMUTTER,
+    GPUSpec,
+    MachineSpec,
+    get_machine,
+)
+from .network import (
+    Ring,
+    build_ring,
+    inter_node_edges,
+    ring_bottleneck_bandwidth,
+    shared_ring_bandwidths,
+)
+from .topology import Placement, local_rank_of, node_of
+
+__all__ = [
+    "GPUSpec",
+    "MachineSpec",
+    "PERLMUTTER",
+    "FRONTIER",
+    "ALPS",
+    "MACHINES",
+    "get_machine",
+    "Placement",
+    "node_of",
+    "local_rank_of",
+    "Ring",
+    "build_ring",
+    "inter_node_edges",
+    "ring_bottleneck_bandwidth",
+    "shared_ring_bandwidths",
+]

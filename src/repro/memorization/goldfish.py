@@ -1,0 +1,72 @@
+"""The Goldfish Loss (Hans et al. [50]): hashed token dropping.
+
+Standard causal training minimizes cross-entropy on *every* token of a
+sequence, which lets a large model memorize the sequence verbatim.  The
+Goldfish loss excludes a pseudo-random 1-in-k subset of tokens from the
+loss.  The mask must be a deterministic function of the *local context*
+(the hash of the preceding ``h`` tokens), not of the position — so that
+repeated occurrences of the same passage drop the *same* tokens (the
+model can never learn them), while the mask looks random across
+different text.
+
+The paper uses ``k = 2`` and ``h = 13``.  A model trained this way must
+"guess" every dropped token at reproduction time, so the probability of
+emitting a long verbatim suffix decays geometrically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["goldfish_mask", "GOLDFISH_K", "GOLDFISH_H"]
+
+GOLDFISH_K = 2
+GOLDFISH_H = 13
+
+# Multipliers for the rolling polynomial hash (fixed, so masks are stable
+# across runs and implementations).
+_HASH_MULT = np.uint64(1099511628211)
+_HASH_SEED = np.uint64(14695981039346656037)
+
+
+def _context_hash(ids: np.ndarray, h: int) -> np.ndarray:
+    """FNV-style rolling hash of the ``h`` tokens preceding each position.
+
+    ``ids``: (B, S) int array.  Returns (B, S) uint64 hashes; positions
+    with fewer than ``h`` predecessors hash whatever context exists.
+    """
+    b, s = ids.shape
+    acc = np.full((b, s), _HASH_SEED, dtype=np.uint64)
+    u = ids.astype(np.uint64)
+    with np.errstate(over="ignore"):
+        for offset in range(1, h + 1):
+            # Token at distance `offset` before each position (0-padded).
+            shifted = np.zeros((b, s), dtype=np.uint64)
+            if s > offset:
+                shifted[:, offset:] = u[:, :-offset]
+            acc = (acc ^ shifted) * _HASH_MULT
+    return acc
+
+
+def goldfish_mask(
+    ids: np.ndarray, k: int = GOLDFISH_K, h: int = GOLDFISH_H
+) -> np.ndarray:
+    """The {0,1} loss mask for a (B, S) batch: 0 drops a token's loss.
+
+    A token is dropped iff ``hash(h-token context) % k == 0``, i.e. a
+    1/k fraction in expectation.  Identical passages always drop the
+    same tokens (the property that defeats memorization-by-repetition).
+    """
+    ids = np.asarray(ids)
+    if ids.ndim != 2:
+        raise ValueError(f"ids must be (batch, seq), got {ids.shape}")
+    if k < 2:
+        raise ValueError("k must be >= 2 (k=1 would drop every token)")
+    if h < 1:
+        raise ValueError("context length h must be >= 1")
+    hashes = _context_hash(ids, h)
+    mask = (hashes % np.uint64(k)) != 0
+    # Never drop the first h tokens (no full context yet) — they carry
+    # the warmup signal and cannot be dropped consistently anyway.
+    mask[:, :h] = True
+    return mask.astype(np.float64)

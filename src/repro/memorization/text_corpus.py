@@ -1,0 +1,116 @@
+"""Pseudo-English article corpus over a real tokenizer pipeline.
+
+A step closer to the paper's Wikipedia setup than the raw Markov token
+stream: articles are *text* — seeded word-level Markov chains over a
+fixed vocabulary of English-like words — passed through a trained
+:class:`~repro.memorization.tokenizer.BPETokenizer`, then cut to a fixed
+token length.  The resulting :class:`~repro.memorization.corpus.Document`
+objects plug into the same bucket/experiment machinery as the synthetic
+corpus (same interface: ``document``, ``documents``,
+``background_batch``, ``vocab_size``, ``doc_len``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .corpus import Document
+from .tokenizer import BPETokenizer
+
+__all__ = ["WORDLIST", "TextCorpus", "make_wordlist"]
+
+
+def make_wordlist(size: int = 200, seed: int = 7) -> list[str]:
+    """A fixed list of pronounceable pseudo-English words (CV syllables)."""
+    rng = np.random.default_rng(seed)
+    onsets = list("bcdfghjklmnprstvwz")
+    vowels = list("aeiou")
+    words: list[str] = []
+    seen: set[str] = set()
+    while len(words) < size:
+        n_syll = int(rng.integers(1, 4))
+        w = "".join(
+            onsets[rng.integers(len(onsets))] + vowels[rng.integers(len(vowels))]
+            for _ in range(n_syll)
+        )
+        if w not in seen:
+            seen.add(w)
+            words.append(w)
+    return words
+
+
+#: The default shared vocabulary of article words.
+WORDLIST = make_wordlist()
+
+
+class TextCorpus:
+    """Seeded text articles tokenized with a shared BPE tokenizer."""
+
+    def __init__(
+        self,
+        doc_len: int,
+        seed: int = 0,
+        bpe_vocab: int = 192,
+        words: list[str] | None = None,
+        branching: int = 4,
+    ) -> None:
+        if doc_len < 8:
+            raise ValueError("documents must have at least 8 tokens")
+        self.doc_len = doc_len
+        self.seed = seed
+        self.words = words if words is not None else WORDLIST
+        self.branching = branching
+        rng = np.random.default_rng(seed)
+        n = len(self.words)
+        # Shared word-bigram structure, like the token-level corpus.
+        self._successors = rng.integers(0, n, size=(n, branching))
+        weights = 1.0 / np.arange(1, branching + 1)
+        self._probs = weights / weights.sum()
+        # Train the tokenizer on a sample of background text.
+        sample = [self._raw_text(10**9 + i, words_len=120) for i in range(30)]
+        self.tokenizer = BPETokenizer.train(sample, vocab_size=bpe_vocab)
+
+    @property
+    def vocab_size(self) -> int:
+        return self.tokenizer.vocab_size
+
+    # -- article generation -------------------------------------------------
+
+    def _raw_text(self, doc_id: int, words_len: int) -> str:
+        rng = np.random.default_rng((self.seed + 1) * 7_368_787 + doc_id)
+        n = len(self.words)
+        idx = int(rng.integers(n))
+        out = [self.words[idx]]
+        branches = rng.choice(self.branching, size=words_len - 1, p=self._probs)
+        for b in branches:
+            idx = int(self._successors[idx, b])
+            out.append(self.words[idx])
+        return " ".join(out)
+
+    def article_text(self, doc_id: int) -> str:
+        """The article's raw text (before tokenization)."""
+        # Generous word budget; tokenization then trims to doc_len.
+        return self._raw_text(doc_id, words_len=4 * self.doc_len)
+
+    def document(self, doc_id: int) -> Document:
+        """The ``doc_id``-th article as a fixed-length token sequence."""
+        if doc_id < 0:
+            raise ValueError("doc_id must be non-negative")
+        ids = self.tokenizer.encode(self.article_text(doc_id))
+        if len(ids) < self.doc_len:
+            raise RuntimeError(
+                "article tokenized shorter than doc_len; increase the "
+                "word budget"
+            )
+        return Document(
+            doc_id=doc_id, tokens=np.asarray(ids[: self.doc_len], dtype=np.int64)
+        )
+
+    def documents(self, start: int, count: int) -> list[Document]:
+        return [self.document(i) for i in range(start, start + count)]
+
+    def background_batch(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        ids = rng.integers(10**9, 2 * 10**9, size=batch_size)
+        return np.stack([self.document(int(i)).tokens for i in ids])

@@ -1,0 +1,139 @@
+"""Byte-pair-encoding tokenizer, from scratch.
+
+The paper's memorization experiments run on tokenized English Wikipedia;
+our substitute corpus needs the same pipeline shape: text -> subword ids
+-> fixed-length training sequences.  This module implements the classic
+BPE algorithm (Sennrich et al.; the GPT-2 tokenizer's core):
+
+* training: start from a character vocabulary (with an end-of-word
+  marker), repeatedly merge the most frequent adjacent symbol pair until
+  the vocabulary budget is reached — deterministic tie-breaking so the
+  same corpus always yields the same tokenizer;
+* encoding: greedy application of the learned merges in learned order;
+* decoding: inverse lookup, exact round-trip for any text over the
+  training alphabet.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["BPETokenizer"]
+
+#: End-of-word marker appended to every pre-tokenized word.
+EOW = "</w>"
+
+
+@dataclass
+class BPETokenizer:
+    """A trained byte-pair encoder.
+
+    Build with :meth:`train`; ``vocab`` maps token string -> id and
+    ``merges`` lists learned pairs in priority order.
+    """
+
+    vocab: dict[str, int] = field(default_factory=dict)
+    merges: list[tuple[str, str]] = field(default_factory=list)
+    unk_token: str = "<unk>"
+
+    # -- training --------------------------------------------------------
+
+    @classmethod
+    def train(cls, texts: list[str], vocab_size: int) -> "BPETokenizer":
+        """Learn a BPE vocabulary of (at most) ``vocab_size`` tokens."""
+        if vocab_size < 8:
+            raise ValueError("vocab_size must be at least 8")
+        words: Counter[tuple[str, ...]] = Counter()
+        alphabet: set[str] = set()
+        for text in texts:
+            for w in text.split():
+                sym = tuple(w) + (EOW,)
+                words[sym] += 1
+                alphabet.update(w)
+
+        tok = cls()
+        tok.vocab = {tok.unk_token: 0}
+        for ch in sorted(alphabet):
+            tok.vocab[ch] = len(tok.vocab)
+        tok.vocab[EOW] = len(tok.vocab)
+
+        while len(tok.vocab) < vocab_size:
+            pairs: Counter[tuple[str, str]] = Counter()
+            for sym, count in words.items():
+                for a, b in zip(sym, sym[1:]):
+                    pairs[(a, b)] += count
+            if not pairs:
+                break
+            # Deterministic: highest count, then lexicographic.
+            best = max(pairs, key=lambda p: (pairs[p], p))
+            if pairs[best] < 2:
+                break
+            tok.merges.append(best)
+            merged = best[0] + best[1]
+            tok.vocab[merged] = len(tok.vocab)
+            words = Counter(
+                {cls._apply_merge(sym, best): c for sym, c in words.items()}
+            )
+        return tok
+
+    @staticmethod
+    def _apply_merge(
+        sym: tuple[str, ...], pair: tuple[str, str]
+    ) -> tuple[str, ...]:
+        out: list[str] = []
+        i = 0
+        while i < len(sym):
+            if i + 1 < len(sym) and (sym[i], sym[i + 1]) == pair:
+                out.append(sym[i] + sym[i + 1])
+                i += 2
+            else:
+                out.append(sym[i])
+                i += 1
+        return tuple(out)
+
+    # -- encode / decode ----------------------------------------------------
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+    def _encode_word(self, word: str) -> list[int]:
+        sym = tuple(word) + (EOW,)
+        for pair in self.merges:
+            if len(sym) == 1:
+                break
+            sym = self._apply_merge(sym, pair)
+        return [self.vocab.get(s, self.vocab[self.unk_token]) for s in sym]
+
+    def encode(self, text: str) -> list[int]:
+        """Token ids for ``text`` (whitespace pre-tokenization)."""
+        ids: list[int] = []
+        for w in text.split():
+            ids.extend(self._encode_word(w))
+        return ids
+
+    def decode(self, ids: list[int]) -> str:
+        """Inverse of :meth:`encode` (single spaces between words)."""
+        inv = {i: s for s, i in self.vocab.items()}
+        pieces: list[str] = []
+        word = ""
+        for i in ids:
+            s = inv.get(int(i), self.unk_token)
+            if s.endswith(EOW):
+                word += s[: -len(EOW)]
+                pieces.append(word)
+                word = ""
+            else:
+                word += s
+        if word:
+            pieces.append(word)
+        return " ".join(pieces)
+
+    def tokens_per_word(self, texts: list[str]) -> float:
+        """Mean subwords per word — the compression the merges bought."""
+        total_words = sum(len(t.split()) for t in texts)
+        total_tokens = sum(len(self.encode(t)) for t in texts)
+        if total_words == 0:
+            raise ValueError("no words to measure")
+        return total_tokens / total_words

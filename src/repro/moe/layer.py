@@ -1,0 +1,153 @@
+"""Mixture-of-Experts layer: router, experts, auxiliary loss.
+
+An extension along the authors' own line of work — AxoNN's hybrid
+tensor-expert-data parallelism for MoE training (the paper's reference
+[17]).  The serial layer here is the specification the expert-parallel
+version (:mod:`repro.moe.expert_parallel`) must match:
+
+* a **top-k softmax router** assigns every token to ``k`` experts with
+  normalized gate weights;
+* each **expert** is a standard 2-layer GELU MLP;
+* dispatch is *sparse*: each expert runs only on the tokens routed to
+  it (gather -> expert -> weighted scatter-add), so compute per token is
+  ~k experts' worth regardless of the expert count — MoE's defining
+  property;
+* the **load-balance auxiliary loss** (Switch Transformer form,
+  ``E * sum_e f_e * P_e``) pushes the router toward uniform expert
+  utilization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import Linear
+from ..nn.module import Module, Parameter
+from ..tensor import Tensor
+from ..tensor import functional as F
+
+__all__ = ["Expert", "TopKRouter", "MoELayer", "load_balance_loss"]
+
+
+class Expert(Module):
+    """One expert: Linear -> GELU -> Linear."""
+
+    def __init__(
+        self, dim: int, hidden: int, rng: np.random.Generator
+    ) -> None:
+        self.fc1 = Linear(dim, hidden, rng=rng)
+        self.fc2 = Linear(hidden, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(F.gelu(self.fc1(x)))
+
+
+class TopKRouter(Module):
+    """Softmax gating over experts with top-k selection.
+
+    ``route(x)`` returns (expert indices (T, k), gate weights (T, k) as
+    a Tensor, full router probabilities (T, E) as a Tensor).  Gate
+    weights are the selected probabilities renormalized to sum to 1 per
+    token (standard top-k gating).
+    """
+
+    def __init__(
+        self, dim: int, num_experts: int, k: int, rng: np.random.Generator
+    ) -> None:
+        if not 1 <= k <= num_experts:
+            raise ValueError(f"k must be in [1, {num_experts}], got {k}")
+        self.num_experts = num_experts
+        self.k = k
+        self.weight = Parameter(rng.normal(0.0, 0.02, (dim, num_experts)))
+
+    def route(self, x: Tensor) -> tuple[np.ndarray, Tensor, Tensor]:
+        logits = x @ self.weight  # (T, E)
+        probs = F.softmax(logits, axis=-1)
+        # Top-k expert ids per token (descending probability, index
+        # tie-break for determinism).
+        order = np.argsort(-probs.data, axis=-1, kind="stable")
+        idx = order[:, : self.k]  # (T, k)
+        rows = np.arange(idx.shape[0])[:, None].repeat(self.k, axis=1)
+        picked = probs[(rows.ravel(), idx.ravel())].reshape(
+            idx.shape[0], self.k
+        )
+        denom = picked.sum(axis=1, keepdims=True)
+        gates = picked / denom
+        return idx, gates, probs
+
+
+def load_balance_loss(
+    expert_idx: np.ndarray, probs: Tensor, num_experts: int
+) -> Tensor:
+    """Switch Transformer auxiliary loss, ``E * sum_e f_e * P_e``.
+
+    ``f_e`` is the fraction of tokens whose *first* expert is ``e`` (a
+    constant w.r.t. the parameters); ``P_e`` the mean router probability
+    of ``e``.  Uniform routing minimizes it at 1.0.
+    """
+    t = expert_idx.shape[0]
+    first = expert_idx[:, 0]
+    f = np.bincount(first, minlength=num_experts) / t  # constant
+    p_mean = probs.mean(axis=0)  # (E,)
+    return (p_mean * Tensor(f)).sum() * float(num_experts)
+
+
+class MoELayer(Module):
+    """The serial mixture-of-experts layer (the parallel spec)."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_experts: int,
+        hidden: int | None = None,
+        k: int = 2,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = rng or np.random.default_rng()
+        if num_experts < 1:
+            raise ValueError("need at least one expert")
+        self.dim = dim
+        self.num_experts = num_experts
+        self.hidden = hidden if hidden is not None else 4 * dim
+        self.router = TopKRouter(dim, num_experts, k, rng)
+        self.experts = [
+            Expert(dim, self.hidden, rng) for _ in range(num_experts)
+        ]
+
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        """(T, dim) tokens -> (output (T, dim), auxiliary loss scalar).
+
+        Sparse dispatch: expert ``e`` computes only on its routed
+        tokens; outputs are scatter-added back weighted by the gates.
+        """
+        if x.ndim != 2:
+            raise ValueError(f"tokens must be (T, dim); got {x.shape}")
+        idx, gates, probs = self.router.route(x)
+        t = x.shape[0]
+
+        out: Tensor | None = None
+        for e, expert in enumerate(self.experts):
+            token_pos, slot = np.nonzero(idx == e)
+            if token_pos.size == 0:
+                continue
+            routed = x[(token_pos,)]  # gather (n_e, dim)
+            y = expert(routed)
+            w = gates[(token_pos, slot)].reshape(-1, 1)
+            # Scatter-add back: embed into a (T, dim) zero canvas via the
+            # differentiable gather's transpose (advanced-index assign).
+            contribution = _scatter_rows(y * w, token_pos, t)
+            out = contribution if out is None else out + contribution
+        assert out is not None, "every token routes to at least one expert"
+        aux = load_balance_loss(idx, probs, self.num_experts)
+        return out, aux
+
+
+def _scatter_rows(values: Tensor, rows: np.ndarray, total_rows: int) -> Tensor:
+    """Embed (n, dim) rows into a (total_rows, dim) zero tensor."""
+    data = np.zeros((total_rows, values.shape[1]), dtype=values.data.dtype)
+    np.add.at(data, rows, values.data)  # duplicate rows accumulate
+
+    def backward(g):
+        return (g[rows],)
+
+    return Tensor._make(data, (values,), backward, "scatter_rows")

@@ -1,0 +1,42 @@
+"""Neural-network library: modules, layers, GPT, optimizers, batching."""
+
+from .data import Batcher, pad_or_trim
+from .layers import Dropout, Embedding, LayerNorm, Linear, init_normal
+from .module import Module, Parameter
+from .optim import (
+    SGD,
+    AdamW,
+    CosineSchedule,
+    WarmupDecaySchedule,
+    clip_grad_norm,
+)
+from .generation import KVCache, decode_step, generate_greedy, prefill
+from .training import MixedPrecisionTrainer
+from .transformer import GPT, MLP, Block, CausalSelfAttention, causal_attention
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "init_normal",
+    "GPT",
+    "Block",
+    "MLP",
+    "CausalSelfAttention",
+    "causal_attention",
+    "SGD",
+    "AdamW",
+    "WarmupDecaySchedule",
+    "CosineSchedule",
+    "clip_grad_norm",
+    "MixedPrecisionTrainer",
+    "KVCache",
+    "prefill",
+    "decode_step",
+    "generate_greedy",
+    "Batcher",
+    "pad_or_trim",
+]

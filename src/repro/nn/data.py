@@ -1,0 +1,69 @@
+"""Batching utilities for language-model training.
+
+The memorization experiments train on fixed-length token sequences; this
+module packs documents into (batch, seq) id arrays with deterministic,
+seeded shuffling so every experiment is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["pad_or_trim", "Batcher"]
+
+
+def pad_or_trim(tokens: np.ndarray, length: int, pad_id: int) -> np.ndarray:
+    """Right-pad with ``pad_id`` or truncate ``tokens`` to ``length``."""
+    tokens = np.asarray(tokens)
+    if tokens.ndim != 1:
+        raise ValueError("tokens must be 1-D")
+    if tokens.shape[0] >= length:
+        return tokens[:length].copy()
+    out = np.full(length, pad_id, dtype=tokens.dtype)
+    out[: tokens.shape[0]] = tokens
+    return out
+
+
+@dataclass
+class Batcher:
+    """Deterministically shuffled fixed-size batches of token sequences.
+
+    ``sequences`` is a list of equal-length 1-D integer arrays; iteration
+    yields (batch_size, seq_len) arrays, reshuffling each epoch with a
+    seed derived from the epoch index.
+    """
+
+    sequences: Sequence[np.ndarray]
+    batch_size: int
+    seed: int = 0
+    drop_last: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.sequences:
+            raise ValueError("no sequences to batch")
+        lengths = {len(s) for s in self.sequences}
+        if len(lengths) != 1:
+            raise ValueError(f"sequences have mixed lengths: {lengths}")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+    def epoch(self, epoch_idx: int = 0) -> Iterator[np.ndarray]:
+        """Yield shuffled batches for one pass over the data."""
+        rng = np.random.default_rng(self.seed + 1000003 * epoch_idx)
+        order = rng.permutation(len(self.sequences))
+        stacked = np.stack([self.sequences[i] for i in order])
+        n = len(stacked)
+        for start in range(0, n, self.batch_size):
+            batch = stacked[start : start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                return
+            yield batch
+
+    def num_batches(self) -> int:
+        n = len(self.sequences)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size

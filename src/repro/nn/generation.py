@@ -1,0 +1,161 @@
+"""Incremental decoding with a key/value cache.
+
+Autoregressive evaluation (the memorization study's exact-match test)
+re-runs the transformer once per generated token.  Recomputing the full
+prefix each step costs O(n^2) forward passes; caching each layer's keys
+and values makes each step O(1) forward work on the single new token —
+the standard KV-cache inference optimization every serving stack uses.
+
+The cached path computes *exactly* the same logits as the full forward
+(same float64 arithmetic), which the test suite asserts, so evaluation
+results are unchanged — only faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..tensor import Tensor, no_grad
+from ..tensor import functional as F
+from .transformer import GPT
+
+__all__ = ["KVCache", "prefill", "decode_step", "generate_greedy"]
+
+
+@dataclass
+class KVCache:
+    """Per-layer cached keys/values, shape (B, heads, S_past, head_dim)."""
+
+    keys: list[np.ndarray] = field(default_factory=list)
+    values: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def seq_len(self) -> int:
+        return 0 if not self.keys else self.keys[0].shape[2]
+
+    def append(self, layer: int, k: np.ndarray, v: np.ndarray) -> None:
+        if layer == len(self.keys):
+            self.keys.append(k)
+            self.values.append(v)
+        else:
+            self.keys[layer] = np.concatenate([self.keys[layer], k], axis=2)
+            self.values[layer] = np.concatenate([self.values[layer], v], axis=2)
+
+
+def _split_heads(t: np.ndarray, num_heads: int) -> np.ndarray:
+    b, s, h = t.shape
+    return t.reshape(b, s, num_heads, h // num_heads).transpose(0, 2, 1, 3)
+
+
+def _attention_with_cache(
+    q: np.ndarray,
+    k_all: np.ndarray,
+    v_all: np.ndarray,
+    past: int,
+) -> np.ndarray:
+    """Causal attention of ``q`` (B, nh, S_new, hd) over the full cached
+    keys/values (B, nh, past + S_new, hd)."""
+    hd = q.shape[-1]
+    scores = q @ np.swapaxes(k_all, -1, -2) / np.sqrt(hd)
+    s_new = q.shape[2]
+    total = k_all.shape[2]
+    # Query i (global position past + i) may attend keys 0..past+i.
+    mask = np.arange(total)[None, :] <= (past + np.arange(s_new))[:, None]
+    scores = np.where(mask[None, None], scores, -1e30)
+    scores -= scores.max(axis=-1, keepdims=True)
+    e = np.exp(scores)
+    att = e / e.sum(axis=-1, keepdims=True)
+    out = att @ v_all  # (B, nh, S_new, hd)
+    b, nh, s, hd = out.shape
+    return out.transpose(0, 2, 1, 3).reshape(b, s, nh * hd)
+
+
+def _block_forward_cached(
+    model: GPT, layer: int, x: np.ndarray, cache: KVCache, past: int
+) -> np.ndarray:
+    """One transformer block on the new tokens only, extending the cache."""
+    blk = model.blocks[layer]
+    h = model.cfg.hidden_size
+    nh = model.cfg.num_heads
+
+    def ln(mod, arr):
+        return F.layer_norm(Tensor(arr), mod.weight, mod.bias, mod.eps).data
+
+    a = ln(blk.ln1, x)
+    qkv = a @ blk.attn.qkv.weight.data + blk.attn.qkv.bias.data
+    q, k, v = qkv[..., :h], qkv[..., h : 2 * h], qkv[..., 2 * h :]
+    qh, kh, vh = (_split_heads(t, nh) for t in (q, k, v))
+    cache.append(layer, kh, vh)
+    att = _attention_with_cache(qh, cache.keys[layer], cache.values[layer], past)
+    x = x + (att @ blk.attn.proj.weight.data + blk.attn.proj.bias.data)
+
+    a = ln(blk.ln2, x)
+    f1 = F.gelu(Tensor(a @ blk.mlp.fc1.weight.data + blk.mlp.fc1.bias.data)).data
+    x = x + (f1 @ blk.mlp.fc2.weight.data + blk.mlp.fc2.bias.data)
+    return x
+
+
+def _forward_cached(
+    model: GPT, ids_new: np.ndarray, cache: KVCache
+) -> np.ndarray:
+    """Logits (B, S_new, V) for the new tokens, extending the cache."""
+    ids_new = np.atleast_2d(np.asarray(ids_new))
+    past = cache.seq_len
+    b, s_new = ids_new.shape
+    if past + s_new > model.cfg.seq_len:
+        raise ValueError(
+            f"sequence {past + s_new} exceeds the model's context "
+            f"{model.cfg.seq_len}"
+        )
+    pos = np.arange(past, past + s_new)[None, :].repeat(b, axis=0)
+    with no_grad():
+        x = (
+            model.wte.weight.data[ids_new]
+            + model.wpe.weight.data[pos[0]][None, :, :].repeat(b, axis=0)
+        )
+        for layer in range(model.cfg.num_layers):
+            x = _block_forward_cached(model, layer, x, cache, past)
+        x = F.layer_norm(
+            Tensor(x), model.ln_f.weight, model.ln_f.bias, model.ln_f.eps
+        ).data
+        return x @ model.wte.weight.data.T
+
+
+def prefill(model: GPT, prefix: np.ndarray) -> tuple[np.ndarray, KVCache]:
+    """Run the prompt once; return (last-position logits, filled cache)."""
+    cache = KVCache()
+    logits = _forward_cached(model, np.atleast_2d(prefix), cache)
+    return logits[:, -1], cache
+
+
+def decode_step(
+    model: GPT, token: np.ndarray, cache: KVCache
+) -> np.ndarray:
+    """One incremental step: feed the (B,) new tokens, get (B, V) logits."""
+    token = np.atleast_1d(np.asarray(token))
+    logits = _forward_cached(model, token[:, None], cache)
+    return logits[:, -1]
+
+
+def generate_greedy(
+    model: GPT, prefix: np.ndarray, num_tokens: int
+) -> np.ndarray:
+    """Greedy continuation of a 1-D prefix using the KV cache.
+
+    Produces exactly the same tokens as the uncached
+    :func:`repro.memorization.greedy_continuation`, in O(prefix + n)
+    total forward work instead of O(n * (prefix + n)).
+    """
+    if num_tokens < 1:
+        raise ValueError("num_tokens must be >= 1")
+    logits, cache = prefill(model, np.asarray(prefix)[None, :])
+    out = []
+    nxt = int(np.argmax(logits[0]))
+    out.append(nxt)
+    for _ in range(num_tokens - 1):
+        logits = decode_step(model, np.array([nxt]), cache)
+        nxt = int(np.argmax(logits[0]))
+        out.append(nxt)
+    return np.asarray(out, dtype=np.int64)

@@ -1,0 +1,101 @@
+"""Module/Parameter system: a minimal nn.Module in the PyTorch idiom.
+
+Modules register parameters and sub-modules simply by attribute
+assignment; :meth:`Module.named_parameters` walks the tree.  This is the
+base for both the serial reference GPT (:mod:`repro.nn.transformer`) and
+the 4D-parallel model (:mod:`repro.core.parallel_transformer`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A trainable tensor: always requires grad."""
+
+    __slots__ = ()
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+        # Parameters require grad even if constructed under no_grad().
+        self.requires_grad = True
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; this class discovers them for iteration, gradient
+    clearing, and (de)serialization.
+    """
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # -- parameter traversal -----------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` over the module tree."""
+        for key, value in vars(self).items():
+            name = f"{prefix}{key}"
+            if isinstance(value, Parameter):
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{name}.{i}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{name}.{i}", item
+            elif isinstance(value, dict):
+                for k in sorted(value, key=repr):
+                    item = value[k]
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{name}.{k}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{name}.{k}", item
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total trainable scalar count."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- state dict ----------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of all parameter arrays keyed by dotted name."""
+        return {k: p.data.copy() for k, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load arrays into existing parameters (strict key match)."""
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(
+                f"state_dict mismatch; missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for k, p in params.items():
+            if p.data.shape != state[k].shape:
+                raise ValueError(
+                    f"shape mismatch for {k}: {p.data.shape} vs {state[k].shape}"
+                )
+            p.data = state[k].astype(p.data.dtype).copy()

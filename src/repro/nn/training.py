@@ -1,0 +1,140 @@
+"""Mixed-precision training and gradient accumulation.
+
+The paper trains everything in bf16 with fp32 master weights (Section
+VI-A): forward/backward arithmetic sees bf16-rounded parameters and
+activations, while the optimizer updates full-precision master copies —
+without the master copies, updates smaller than a bf16 ulp would vanish
+(the classic "stale weights" failure this module's tests demonstrate).
+
+:class:`MixedPrecisionTrainer` wraps any model exposing
+``loss(ids, loss_mask=...)`` (serial :class:`~repro.nn.GPT`,
+:class:`~repro.core.ParallelGPT`) and an optimizer, adding:
+
+* bf16 parameter rounding around each forward/backward (emulating bf16
+  compute on our float64 engine, via :func:`repro.tensor.to_bf16`);
+* gradient accumulation over micro-steps (large effective batches);
+* optional global-norm gradient clipping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor.dtype import to_bf16
+from .optim import clip_grad_norm
+
+__all__ = ["MixedPrecisionTrainer"]
+
+
+class MixedPrecisionTrainer:
+    """Drives bf16-compute / fp32-master training steps.
+
+    ``accumulation_steps`` micro-batches are processed per optimizer
+    step; each micro-loss is scaled by ``1/accumulation_steps`` so the
+    effective gradient is the mean over the combined batch (given
+    equal-sized micro-batches).
+    """
+
+    def __init__(
+        self,
+        model,
+        optimizer,
+        accumulation_steps: int = 1,
+        bf16: bool = True,
+        grad_clip: float | None = None,
+        skip_nonfinite: bool = True,
+    ) -> None:
+        if accumulation_steps < 1:
+            raise ValueError("accumulation_steps must be >= 1")
+        self.model = model
+        self.optimizer = optimizer
+        self.accumulation_steps = accumulation_steps
+        self.bf16 = bf16
+        self.grad_clip = grad_clip
+        #: Skip the optimizer step (and zero the gradients) when any
+        #: gradient is NaN/inf — the standard guard against a poisoned
+        #: batch corrupting the weights.  Skipped steps are counted in
+        #: :attr:`skipped_steps`.
+        self.skip_nonfinite = skip_nonfinite
+        self.skipped_steps = 0
+        self._micro = 0
+        self._params = list(model.parameters())
+
+    def _grads_finite(self) -> bool:
+        for p in self._params:
+            if p.grad is not None and not np.isfinite(p.grad).all():
+                return False
+        return True
+
+    # -- bf16 round-trip around the compute --------------------------------
+
+    def _round_params(self) -> list[np.ndarray]:
+        """Swap bf16-rounded values into the parameters; return masters."""
+        masters = []
+        for p in self._params:
+            masters.append(p.data)
+            p.data = to_bf16(p.data).astype(p.data.dtype)
+        return masters
+
+    def _restore_params(self, masters: list[np.ndarray]) -> None:
+        for p, master in zip(self._params, masters):
+            p.data = master
+
+    # -- the step API ----------------------------------------------------------
+
+    def micro_step(
+        self, ids: np.ndarray, loss_mask: np.ndarray | None = None
+    ) -> float:
+        """Forward/backward one micro-batch; steps the optimizer when the
+        accumulation window completes.  Returns the (unscaled) loss."""
+        if self.bf16:
+            masters = self._round_params()
+            try:
+                loss = self.model.loss(ids, loss_mask=loss_mask)
+                loss.backward(np.asarray(1.0 / self.accumulation_steps))
+            finally:
+                self._restore_params(masters)
+        else:
+            loss = self.model.loss(ids, loss_mask=loss_mask)
+            loss.backward(np.asarray(1.0 / self.accumulation_steps))
+
+        self._micro += 1
+        if self._micro == self.accumulation_steps:
+            self._micro = 0
+            if self.skip_nonfinite and not self._grads_finite():
+                self.skipped_steps += 1
+                self.model.zero_grad()
+                return loss.item()
+            if self.grad_clip is not None:
+                clip_grad_norm(self._params, self.grad_clip)
+            self.optimizer.step()
+            self.model.zero_grad()
+        return loss.item()
+
+    def step(
+        self, ids: np.ndarray, loss_mask: np.ndarray | None = None
+    ) -> float:
+        """One full optimizer step: ``ids`` is split into the trainer's
+        ``accumulation_steps`` equal micro-batches.  Returns the mean
+        micro-loss."""
+        ids = np.asarray(ids)
+        if self._micro != 0:
+            raise RuntimeError(
+                "step() called mid-accumulation; finish the window with "
+                "micro_step() first"
+            )
+        n = self.accumulation_steps
+        if ids.shape[0] % n:
+            raise ValueError(
+                f"batch of {ids.shape[0]} not divisible into {n} micro-batches"
+            )
+        mb = ids.shape[0] // n
+        losses = []
+        for i in range(n):
+            mask = (
+                None
+                if loss_mask is None
+                else np.asarray(loss_mask)[i * mb : (i + 1) * mb]
+            )
+            losses.append(self.micro_step(ids[i * mb : (i + 1) * mb], mask))
+        return float(np.mean(losses))

@@ -1,0 +1,43 @@
+"""The communication performance model of Section V-B (Eqs. 1-7)."""
+
+from .bandwidth import BandwidthDatabase, case2_bandwidth, effective_bandwidths
+from .configs import RankedConfig, feasible, rank_configurations
+from .model import (
+    CommBreakdown,
+    LayerShape,
+    gpt_layer_shapes,
+    layer_comm_time,
+    model_comm_time,
+)
+from .volume import (
+    CollectiveVolumes,
+    gpt_forward_backward_volumes,
+    layer_volumes,
+)
+from .ring import (
+    all_gather_time,
+    all_reduce_time,
+    broadcast_time,
+    reduce_scatter_time,
+)
+
+__all__ = [
+    "all_gather_time",
+    "reduce_scatter_time",
+    "all_reduce_time",
+    "broadcast_time",
+    "BandwidthDatabase",
+    "effective_bandwidths",
+    "case2_bandwidth",
+    "LayerShape",
+    "gpt_layer_shapes",
+    "layer_comm_time",
+    "model_comm_time",
+    "CommBreakdown",
+    "RankedConfig",
+    "feasible",
+    "rank_configurations",
+    "CollectiveVolumes",
+    "layer_volumes",
+    "gpt_forward_backward_volumes",
+]

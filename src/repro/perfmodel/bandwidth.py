@@ -1,0 +1,112 @@
+"""Effective process-group bandwidths: the paper's Eq. 7 plus the
+profiled intra-node database (Section V-B, Cases 1 and 2).
+
+The four process-group levels — X (innermost), Y, Z, data (outermost) —
+see different effective peer-to-peer bandwidths depending on how their
+rings map onto nodes and NICs:
+
+* **Case 1** (group fits in a node, ``prod_{j<=i} G_j <= G_node``): the
+  bandwidth is looked up in a profiled database keyed by
+  ``(G0 = prod_{j<i} G_j, G1 = G_i)`` — i.e. how many simultaneous
+  rings of what size run inside the node.  The paper fills this database
+  by running real 1 GB collectives; we fill it by "profiling" the same
+  experiment against the network substrate's sharing model
+  (:func:`repro.cluster.shared_ring_bandwidths`), which plays the role
+  of the machine.
+
+* **Case 2** (group spans nodes): Eq. 7,
+  ``beta_i = beta_inter / min(G_node, prod_{j<i} G_j)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster import MachineSpec, Placement, build_ring, shared_ring_bandwidths
+from ..core.grid import GridConfig
+
+__all__ = ["BandwidthDatabase", "effective_bandwidths", "case2_bandwidth"]
+
+
+@dataclass
+class BandwidthDatabase:
+    """Profiled intra-node bandwidths keyed by ``(inner, group_size)``.
+
+    ``inner`` is the number of simultaneous collectives (the cumulative
+    product of the preceding hierarchy levels), ``group_size`` the size
+    of each collective's group.  ``profile`` runs the same measurement
+    the paper describes: all two-level hierarchies ``(G0, G1)`` with
+    ``G0 * G1 <= G_node``, simultaneous collectives in the outer groups,
+    recording the achieved per-ring bandwidth.
+    """
+
+    machine: MachineSpec
+    table: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    @classmethod
+    def profile(cls, machine: MachineSpec) -> "BandwidthDatabase":
+        db = cls(machine)
+        gnode = machine.gpus_per_node
+        placement = Placement(machine, gnode)
+        for g0 in range(1, gnode + 1):
+            for g1 in range(1, gnode // g0 + 1):
+                if g1 == 1:
+                    # Size-1 groups communicate nothing; record the fabric
+                    # peak as a sentinel.
+                    db.table[(g0, g1)] = machine.intra_node_bw
+                    continue
+                # G0 simultaneous rings, each over G1 devices with stride
+                # G0 (the hierarchical layout: inner levels vary fastest).
+                rings = [
+                    build_ring([i + g0 * j for j in range(g1)], placement)
+                    for i in range(g0)
+                ]
+                bws = shared_ring_bandwidths(rings, placement)
+                db.table[(g0, g1)] = min(bws)
+        return db
+
+    def lookup(self, inner: int, group_size: int) -> float:
+        """Bandwidth for ``inner`` simultaneous groups of ``group_size``."""
+        try:
+            return self.table[(inner, group_size)]
+        except KeyError:
+            raise KeyError(
+                f"({inner}, {group_size}) not profiled on {self.machine.name}; "
+                f"have {sorted(self.table)}"
+            ) from None
+
+
+def case2_bandwidth(machine: MachineSpec, inner_product: int) -> float:
+    """Eq. 7: inter-node bandwidth shared among the rings that the inner
+    hierarchy levels multiplex onto the NICs, capped at G_node."""
+    return machine.inter_node_bw / min(
+        machine.gpus_per_node, max(1, inner_product)
+    )
+
+
+def effective_bandwidths(
+    config: GridConfig,
+    machine: MachineSpec,
+    db: BandwidthDatabase | None = None,
+) -> dict[str, float]:
+    """The vector ``(beta_x, beta_y, beta_z, beta_data)`` for a 4D grid.
+
+    For each hierarchy level ``i``: Case 1 (fits in node) reads the
+    profiled database; Case 2 applies Eq. 7.  Levels of size 1 get
+    ``inf`` (no communication happens).
+    """
+    if db is None:
+        db = BandwidthDatabase.profile(machine)
+    gnode = machine.gpus_per_node
+    dims = config.dims
+    betas: dict[str, float] = {}
+    inner = 1
+    for axis, g in zip(("x", "y", "z", "data"), dims):
+        if g == 1:
+            betas[axis] = float("inf")
+        elif inner * g <= gnode:
+            betas[axis] = db.lookup(inner, g)
+        else:
+            betas[axis] = case2_bandwidth(machine, inner)
+        inner *= g
+    return betas

@@ -1,0 +1,99 @@
+"""Configuration enumeration and ranking (the model's purpose).
+
+Given a model, batch size, GPU count, and machine, enumerate every legal
+4D virtual grid, reject infeasible ones (memory, divisibility), predict
+each survivor's communication time with Eqs. 1–7, and return them best
+first.  "Pick the top few for actual experiments" — Section V-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster import MachineSpec
+from ..config import GPTConfig
+from ..core.grid import GridConfig, enumerate_grid_configs
+from .bandwidth import BandwidthDatabase
+from .model import CommBreakdown, model_comm_time
+
+__all__ = ["RankedConfig", "feasible", "rank_configurations"]
+
+#: Fraction of device memory usable after fragmentation and framework
+#: overheads; applied to the full footprint from the memory model.
+MEMORY_HEADROOM = 0.9
+
+
+@dataclass(frozen=True)
+class RankedConfig:
+    """A grid configuration with its predicted communication time."""
+
+    config: GridConfig
+    predicted_time: float
+    breakdown: CommBreakdown
+
+
+def feasible(
+    cfg: GPTConfig,
+    config: GridConfig,
+    global_batch: int,
+    machine: MachineSpec | None = None,
+) -> bool:
+    """Whether a grid can legally and physically run the model.
+
+    Checks the 4D algorithm's divisibility requirements (heads over X,
+    features over the tensor axes, batch over Z x data) and, when a
+    machine is given, that the full per-device footprint — sharded
+    weights, gradients, optimizer state, activations under
+    checkpointing, and the gathered-W workspace — fits in device memory
+    (:func:`repro.simulate.estimate_memory`).
+    """
+    h = cfg.hidden_size
+    c = config
+    if cfg.num_heads % c.gx:
+        return False
+    if h % (c.gy * c.gz) or h % (c.gx * c.gz):
+        return False
+    if (3 * h) % c.gx or cfg.ffn_hidden % c.gy or cfg.ffn_hidden % (c.gx * c.gz):
+        return False
+    if cfg.vocab_size % c.gx:
+        return False
+    if global_batch % (c.gz * c.gdata):
+        return False
+    if machine is not None:
+        # Imported lazily: repro.simulate depends on repro.perfmodel at
+        # import time, so the package-level import would be circular.
+        from ..simulate.memory import estimate_memory
+
+        # Activation residency is bounded by the *microbatch* (gradient
+        # accumulation splits the replica batch); the smallest useful
+        # microbatch is one sequence per Z shard.
+        micro = min(global_batch // c.gdata, c.gz)
+        footprint = estimate_memory(cfg, config, micro, checkpointing=True)
+        if not footprint.fits(machine, headroom=MEMORY_HEADROOM):
+            return False
+    return True
+
+
+def rank_configurations(
+    cfg: GPTConfig,
+    global_batch: int,
+    num_gpus: int,
+    machine: MachineSpec,
+    db: BandwidthDatabase | None = None,
+    max_configs: int | None = None,
+) -> list[RankedConfig]:
+    """All feasible grids for ``num_gpus`` devices, fastest predicted
+    first.  ``db`` may be passed to reuse a profiled bandwidth database
+    across calls."""
+    if db is None:
+        db = BandwidthDatabase.profile(machine)
+    ranked: list[RankedConfig] = []
+    for config in enumerate_grid_configs(num_gpus):
+        if not feasible(cfg, config, global_batch, machine):
+            continue
+        bd = model_comm_time(cfg, global_batch, config, machine, db=db)
+        ranked.append(RankedConfig(config, bd.total, bd))
+    ranked.sort(key=lambda r: r.predicted_time)
+    if max_configs is not None:
+        ranked = ranked[:max_configs]
+    return ranked

@@ -1,0 +1,100 @@
+"""Analytic communication volumes, cross-validated against the runtime.
+
+The performance model's byte counts (the numerators of Eqs. 1-5) can be
+checked *exactly*: the functional 4D model issues real collectives whose
+buffer sizes the tracer records.  This module computes, for a model and
+a grid, the bytes each collective family should move per iteration; the
+test suite asserts the tracer observes precisely these numbers.  This
+closes the loop between the analytical model and the executable
+algorithm — if Algorithm 1's implementation and Eqs. 1-5 ever drift
+apart, a test fails.
+
+Volumes are reported as *input-buffer bytes summed over distinct
+collectives* (matching :class:`repro.runtime.CollectiveRecord`), for one
+data-parallel replica unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import GPTConfig
+from ..core.grid import GridConfig
+from .model import LayerShape, gpt_layer_shapes
+
+__all__ = ["CollectiveVolumes", "layer_volumes", "gpt_forward_backward_volumes"]
+
+
+@dataclass(frozen=True)
+class CollectiveVolumes:
+    """Bytes entering each collective family, summed over one replica's
+    distinct process-group invocations."""
+
+    ag_z: float = 0.0
+    rs_z: float = 0.0
+    ar_fwd: float = 0.0  # the contraction-axis all-reduce of line 4
+    ar_bwd: float = 0.0  # the column-axis all-reduce of line 12
+
+    def __add__(self, other: "CollectiveVolumes") -> "CollectiveVolumes":
+        return CollectiveVolumes(
+            self.ag_z + other.ag_z,
+            self.rs_z + other.rs_z,
+            self.ar_fwd + other.ar_fwd,
+            self.ar_bwd + other.ar_bwd,
+        )
+
+
+def layer_volumes(
+    layer: LayerShape, config: GridConfig, dtype_bytes: int = 8
+) -> CollectiveVolumes:
+    """Per-iteration collective input bytes for one FC layer.
+
+    Counting convention: a collective over a group of ``p`` ranks is one
+    record whose size is a single rank's input buffer; a layer runs one
+    such collective per distinct group.  For the forward pass of a
+    normal layer there are ``G_x * G_y`` Z-groups (each all-gathering a
+    ``k*n/(G_x*G_y*G_z)``-element shard), ``G_x * G_z`` Y-groups (each
+    all-reducing an ``m*n/(G_z*G_x)``-element partial output), etc.
+
+    ``dtype_bytes`` defaults to 8 because the functional runtime
+    computes in float64; pass 2 for bf16 wire volumes.
+    """
+    gx, gy = config.gx, config.gy
+    if layer.transposed:
+        gx, gy = gy, gx
+    gz = config.gz
+    m, k, n = layer.m, layer.k, layer.n
+
+    n_zgroups = config.gx * config.gy
+    n_fwd_groups = gx * gz  # contraction-axis groups
+    n_bwd_groups = gy * gz  # column-axis groups
+
+    shard = k * n / (config.gx * config.gy * gz) * dtype_bytes
+    block = k * n / (config.gx * config.gy) * dtype_bytes
+    out_block = m * n / (gz * gx) * dtype_bytes
+    in_block = m * k / (gz * gy) * dtype_bytes
+
+    return CollectiveVolumes(
+        ag_z=n_zgroups * shard,
+        rs_z=n_zgroups * block,
+        ar_fwd=n_fwd_groups * out_block,
+        ar_bwd=n_bwd_groups * in_block,
+    )
+
+
+def gpt_forward_backward_volumes(
+    cfg: GPTConfig,
+    batch_per_replica: int,
+    config: GridConfig,
+    dtype_bytes: int = 8,
+    seq_len: int | None = None,
+) -> CollectiveVolumes:
+    """Total collective volumes of one replica's forward+backward pass
+    over the four FC layers of every block (the LM head and embeddings
+    use dedicated paths and are excluded here)."""
+    s = seq_len if seq_len is not None else cfg.seq_len
+    scaled = cfg.scaled(seq_len=s)
+    total = CollectiveVolumes()
+    for layer in gpt_layer_shapes(scaled, batch_per_replica, include_head=False):
+        total = total + layer_volumes(layer, config, dtype_bytes)
+    return total

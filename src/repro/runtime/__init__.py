@@ -1,0 +1,32 @@
+"""Virtual SPMD runtime: process groups, ring collectives, handles."""
+
+from .collectives import (
+    REDUCE_OPS,
+    all_gather,
+    all_reduce,
+    all_to_all,
+    broadcast,
+    reduce_scatter,
+)
+from .nonblocking import Handle, iall_gather, iall_reduce, ireduce_scatter
+from .p2p import gather, scatter, send_recv
+from .process_group import CollectiveRecord, CommTracer, ProcessGroup
+
+__all__ = [
+    "ProcessGroup",
+    "CollectiveRecord",
+    "CommTracer",
+    "all_reduce",
+    "reduce_scatter",
+    "all_gather",
+    "broadcast",
+    "all_to_all",
+    "REDUCE_OPS",
+    "Handle",
+    "iall_reduce",
+    "ireduce_scatter",
+    "iall_gather",
+    "send_recv",
+    "scatter",
+    "gather",
+]

@@ -1,0 +1,258 @@
+"""Functional ring-algorithm collectives over virtual ranks.
+
+Each collective takes ``buffers``: a mapping from *global rank* to that
+rank's local NumPy array, covering exactly the members of the group, and
+returns a mapping of the same shape.  Internally the ring algorithm is
+executed step by step — chunks really travel around the ring — so the
+data movement (and floating-point summation order) matches what
+NCCL/RCCL's ring implementations do:
+
+* ``reduce_scatter``: p-1 steps; each chunk is reduced as it circles the
+  ring and lands, fully reduced, on its owner.
+* ``all_gather``: p-1 steps passing shards around the ring.
+* ``all_reduce``: reduce-scatter followed by all-gather (Rabenseifner),
+  which also guarantees NCCL's invariant that every rank receives an
+  *identical* result array.
+
+These functions are the only inter-rank channel in the runtime; the 4D
+parallel algorithm in :mod:`repro.core` is built exclusively on them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from .process_group import CollectiveRecord, CommTracer, ProcessGroup
+
+__all__ = [
+    "all_reduce",
+    "reduce_scatter",
+    "all_gather",
+    "broadcast",
+    "all_to_all",
+    "REDUCE_OPS",
+]
+
+#: Supported reduction operators.
+REDUCE_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "sum": np.add,
+    "max": np.maximum,
+    "min": np.minimum,
+}
+
+
+def _check_buffers(
+    buffers: Mapping[int, np.ndarray], group: ProcessGroup
+) -> None:
+    if set(buffers) != set(group.ranks):
+        raise ValueError(
+            f"buffers keyed by {sorted(buffers)} do not match group "
+            f"{sorted(group.ranks)}"
+        )
+    shapes = {buffers[r].shape for r in group}
+    if len(shapes) != 1:
+        raise ValueError(f"mismatched buffer shapes across ranks: {shapes}")
+    dtypes = {buffers[r].dtype for r in group}
+    if len(dtypes) != 1:
+        raise ValueError(f"mismatched buffer dtypes across ranks: {dtypes}")
+
+
+def _trace(
+    tracer: CommTracer | None,
+    op: str,
+    group: ProcessGroup,
+    nbytes: int,
+    tag: str,
+) -> None:
+    if tracer is not None:
+        tracer.record(CollectiveRecord(op, group, nbytes, tag))
+
+
+def _flatten_padded(
+    buffers: Mapping[int, np.ndarray], group: ProcessGroup, p: int
+) -> tuple[dict[int, np.ndarray], int]:
+    """Flatten each buffer and zero-pad to a multiple of ``p`` elements."""
+    n = buffers[group.ranks[0]].size
+    pad = (-n) % p
+    flat = {}
+    for r in group:
+        v = np.ravel(buffers[r])
+        if pad:
+            v = np.concatenate([v, np.zeros(pad, dtype=v.dtype)])
+        flat[r] = v.copy()
+    return flat, n
+
+
+def reduce_scatter(
+    buffers: Mapping[int, np.ndarray],
+    group: ProcessGroup,
+    op: str = "sum",
+    tracer: CommTracer | None = None,
+    tag: str = "",
+) -> dict[int, np.ndarray]:
+    """Ring reduce-scatter.
+
+    Every rank contributes an identically-shaped array whose leading
+    dimension must be divisible by the group size; rank at group position
+    ``g`` receives the fully reduced ``g``-th shard (split along axis 0).
+    """
+    _check_buffers(buffers, group)
+    p = group.size
+    reduce_fn = REDUCE_OPS[op]
+    sample = buffers[group.ranks[0]]
+    if sample.shape[0] % p:
+        raise ValueError(
+            f"reduce_scatter: leading dim {sample.shape[0]} not divisible "
+            f"by group size {p}"
+        )
+    _trace(tracer, "reduce_scatter", group, sample.nbytes, tag)
+    if p == 1:
+        return {r: buffers[r].copy() for r in group}
+
+    shard_rows = sample.shape[0] // p
+    # Working state: chunk c of rank r.
+    chunks = {
+        r: [buffers[r][c * shard_rows : (c + 1) * shard_rows].copy() for c in range(p)]
+        for r in group
+    }
+    # p-1 ring steps: at step s, group-rank g sends chunk (g - s - 1) mod p
+    # to its right neighbour, which reduces it into its own copy.
+    for s in range(p - 1):
+        in_flight = {}
+        for g, r in enumerate(group.ranks):
+            c = (g - s - 1) % p
+            in_flight[(g + 1) % p, c] = chunks[r][c]
+        for (g_dst, c), payload in in_flight.items():
+            r_dst = group.ranks[g_dst]
+            chunks[r_dst][c] = reduce_fn(chunks[r_dst][c], payload)
+    # After p-1 steps, group-rank g owns fully reduced chunk g.
+    return {r: chunks[r][g] for g, r in enumerate(group.ranks)}
+
+
+def all_gather(
+    buffers: Mapping[int, np.ndarray],
+    group: ProcessGroup,
+    tracer: CommTracer | None = None,
+    tag: str = "",
+) -> dict[int, np.ndarray]:
+    """Ring all-gather.
+
+    Each rank contributes a shard; every rank receives the shards of all
+    group members concatenated along axis 0 in group order.
+    """
+    _check_buffers(buffers, group)
+    p = group.size
+    sample = buffers[group.ranks[0]]
+    _trace(tracer, "all_gather", group, sample.nbytes, tag)
+    if p == 1:
+        return {r: buffers[r].copy() for r in group}
+
+    # slots[r][c] is rank r's copy of group-rank c's shard (None = not yet
+    # received).
+    slots: dict[int, list[np.ndarray | None]] = {
+        r: [None] * p for r in group
+    }
+    for g, r in enumerate(group.ranks):
+        slots[r][g] = buffers[r].copy()
+    # p-1 ring steps: at step s, group-rank g forwards shard (g - s) mod p.
+    for s in range(p - 1):
+        in_flight = {}
+        for g, r in enumerate(group.ranks):
+            c = (g - s) % p
+            payload = slots[r][c]
+            assert payload is not None, "ring all-gather invariant violated"
+            in_flight[(g + 1) % p, c] = payload
+        for (g_dst, c), payload in in_flight.items():
+            slots[group.ranks[g_dst]][c] = payload.copy()
+    return {
+        r: np.concatenate(slots[r], axis=0) for r in group  # type: ignore[arg-type]
+    }
+
+
+def all_reduce(
+    buffers: Mapping[int, np.ndarray],
+    group: ProcessGroup,
+    op: str = "sum",
+    tracer: CommTracer | None = None,
+    tag: str = "",
+) -> dict[int, np.ndarray]:
+    """Ring all-reduce (reduce-scatter + all-gather).
+
+    All ranks receive identical, fully reduced arrays of the input shape.
+    Arrays are flattened and zero-padded internally, so no divisibility
+    constraint applies.
+    """
+    _check_buffers(buffers, group)
+    p = group.size
+    sample = buffers[group.ranks[0]]
+    _trace(tracer, "all_reduce", group, sample.nbytes, tag)
+    if p == 1:
+        return {r: buffers[r].copy() for r in group}
+
+    flat, n = _flatten_padded(buffers, group, p)
+    scattered = reduce_scatter(flat, group, op=op)
+    gathered = all_gather(scattered, group)
+    return {
+        r: gathered[r][:n].reshape(sample.shape) for r in group
+    }
+
+
+def broadcast(
+    buffers: Mapping[int, np.ndarray],
+    group: ProcessGroup,
+    root: int,
+    tracer: CommTracer | None = None,
+    tag: str = "",
+) -> dict[int, np.ndarray]:
+    """Broadcast ``root``'s buffer to every rank in the group.
+
+    ``root`` is a *global* rank that must belong to the group.
+    """
+    _check_buffers(buffers, group)
+    if root not in group:
+        raise ValueError(f"root {root} not in group {group.ranks}")
+    _trace(tracer, "broadcast", group, buffers[root].nbytes, tag)
+    src = buffers[root]
+    return {r: src.copy() for r in group}
+
+
+def all_to_all(
+    chunks: Mapping[int, list[np.ndarray]],
+    group: ProcessGroup,
+    tracer: CommTracer | None = None,
+    tag: str = "",
+) -> dict[int, list[np.ndarray]]:
+    """All-to-all personalized exchange (MPI_Alltoallv semantics).
+
+    ``chunks[src]`` is a list of ``group.size`` arrays: the payload
+    ``src`` sends to each group position (variable row counts allowed;
+    trailing dims must agree or be empty).  Returns, per rank, the list
+    of arrays it received — index ``i`` from the rank at group position
+    ``i``.  This is the dispatch/combine primitive of expert parallelism
+    (mixture-of-experts routing).
+    """
+    p = group.size
+    if set(chunks) != set(group.ranks):
+        raise ValueError(
+            f"chunks keyed by {sorted(chunks)} do not match group "
+            f"{sorted(group.ranks)}"
+        )
+    for r in group:
+        if len(chunks[r]) != p:
+            raise ValueError(
+                f"rank {r} supplied {len(chunks[r])} chunks for a group "
+                f"of {p}"
+            )
+    if tracer is not None:
+        nbytes = max(
+            sum(c.nbytes for c in chunks[r]) for r in group
+        )
+        tracer.record(CollectiveRecord("all_to_all", group, nbytes, tag))
+    out: dict[int, list[np.ndarray]] = {}
+    for dst_pos, dst in enumerate(group.ranks):
+        out[dst] = [
+            np.array(chunks[src][dst_pos], copy=True) for src in group.ranks
+        ]
+    return out

@@ -1,0 +1,114 @@
+"""Non-blocking collective handles.
+
+NCCL's non-blocking collectives return immediately and the caller later
+waits on a handle.  In the virtual runtime the arithmetic happens eagerly
+(there is only one OS thread), but the *semantics* are preserved: the
+result is inaccessible until :meth:`Handle.wait`, and issue order is
+recorded so the discrete-event simulator can replay the same schedule
+with real overlap accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Mapping, TypeVar
+
+import numpy as np
+
+from .process_group import CommTracer, ProcessGroup
+from . import collectives as _coll
+
+__all__ = ["Handle", "icoll", "iall_reduce", "ireduce_scatter", "iall_gather"]
+
+T = TypeVar("T")
+
+
+class Handle(Generic[T]):
+    """A pending collective result; call :meth:`wait` exactly once."""
+
+    def __init__(self, result: T, op: str, tag: str = "") -> None:
+        self._result: T | None = result
+        self.op = op
+        self.tag = tag
+        self._done = False
+
+    def wait(self) -> T:
+        """Complete the collective and return the per-rank results."""
+        if self._done:
+            raise RuntimeError(f"handle for {self.op!r} waited on twice")
+        self._done = True
+        result, self._result = self._result, None
+        return result  # type: ignore[return-value]
+
+    @property
+    def completed(self) -> bool:
+        return self._done
+
+
+def icoll(
+    fn: Callable[..., dict[int, np.ndarray]],
+    buffers: Mapping[int, np.ndarray],
+    group: ProcessGroup,
+    *,
+    op_name: str,
+    tracer: CommTracer | None = None,
+    tag: str = "",
+    **kwargs,
+) -> Handle[dict[int, np.ndarray]]:
+    """Issue a collective asynchronously and return its handle."""
+    result = fn(buffers, group, tracer=tracer, tag=tag, **kwargs)
+    return Handle(result, op_name, tag)
+
+
+def iall_reduce(
+    buffers: Mapping[int, np.ndarray],
+    group: ProcessGroup,
+    op: str = "sum",
+    tracer: CommTracer | None = None,
+    tag: str = "",
+) -> Handle[dict[int, np.ndarray]]:
+    """Non-blocking ring all-reduce."""
+    return icoll(
+        _coll.all_reduce,
+        buffers,
+        group,
+        op_name="all_reduce",
+        tracer=tracer,
+        tag=tag,
+        op=op,
+    )
+
+
+def ireduce_scatter(
+    buffers: Mapping[int, np.ndarray],
+    group: ProcessGroup,
+    op: str = "sum",
+    tracer: CommTracer | None = None,
+    tag: str = "",
+) -> Handle[dict[int, np.ndarray]]:
+    """Non-blocking ring reduce-scatter."""
+    return icoll(
+        _coll.reduce_scatter,
+        buffers,
+        group,
+        op_name="reduce_scatter",
+        tracer=tracer,
+        tag=tag,
+        op=op,
+    )
+
+
+def iall_gather(
+    buffers: Mapping[int, np.ndarray],
+    group: ProcessGroup,
+    tracer: CommTracer | None = None,
+    tag: str = "",
+) -> Handle[dict[int, np.ndarray]]:
+    """Non-blocking ring all-gather."""
+    return icoll(
+        _coll.all_gather,
+        buffers,
+        group,
+        op_name="all_gather",
+        tracer=tracer,
+        tag=tag,
+    )

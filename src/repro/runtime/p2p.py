@@ -1,0 +1,99 @@
+"""Point-to-point and rooted collectives.
+
+Algorithm 1 needs only the three ring collectives, but a complete
+runtime also serves the surrounding machinery: pipeline stages exchange
+activations point-to-point, data loaders scatter shards from a reader
+rank, and evaluation gathers results to rank 0.  These primitives follow
+the same conventions as :mod:`repro.runtime.collectives` (per-rank
+buffer mappings in, per-rank results out, optional tracing).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from .process_group import CollectiveRecord, CommTracer, ProcessGroup
+
+__all__ = ["send_recv", "scatter", "gather"]
+
+
+def send_recv(
+    buffer: np.ndarray,
+    src: int,
+    dst: int,
+    tracer: CommTracer | None = None,
+    tag: str = "",
+) -> np.ndarray:
+    """Transfer ``buffer`` from rank ``src`` to rank ``dst``.
+
+    Returns the array as received at ``dst`` (a copy — the destination
+    owns its memory, as after MPI_Recv).
+    """
+    if src == dst:
+        raise ValueError("send_recv requires distinct ranks")
+    if tracer is not None:
+        tracer.record(
+            CollectiveRecord(
+                "p2p", ProcessGroup((src, dst)), buffer.nbytes, tag
+            )
+        )
+    return np.array(buffer, copy=True)
+
+
+def scatter(
+    chunks: list[np.ndarray],
+    group: ProcessGroup,
+    root: int,
+    tracer: CommTracer | None = None,
+    tag: str = "",
+) -> dict[int, np.ndarray]:
+    """Distribute ``chunks`` (held at ``root``) across the group.
+
+    ``chunks[i]`` goes to the rank at group position ``i``; chunk shapes
+    may differ (MPI_Scatterv semantics).
+    """
+    if root not in group:
+        raise ValueError(f"root {root} not in group {group.ranks}")
+    if len(chunks) != group.size:
+        raise ValueError(
+            f"{len(chunks)} chunks for a group of {group.size}"
+        )
+    if tracer is not None:
+        tracer.record(
+            CollectiveRecord(
+                "scatter", group, int(sum(c.nbytes for c in chunks)), tag
+            )
+        )
+    return {r: np.array(chunks[i], copy=True) for i, r in enumerate(group.ranks)}
+
+
+def gather(
+    buffers: Mapping[int, np.ndarray],
+    group: ProcessGroup,
+    root: int,
+    tracer: CommTracer | None = None,
+    tag: str = "",
+) -> list[np.ndarray]:
+    """Collect each rank's buffer at ``root``, in group order.
+
+    The inverse of :func:`scatter`; shapes may differ per rank.
+    """
+    if root not in group:
+        raise ValueError(f"root {root} not in group {group.ranks}")
+    if set(buffers) != set(group.ranks):
+        raise ValueError(
+            f"buffers keyed by {sorted(buffers)} do not match group "
+            f"{sorted(group.ranks)}"
+        )
+    if tracer is not None:
+        tracer.record(
+            CollectiveRecord(
+                "gather",
+                group,
+                int(sum(buffers[r].nbytes for r in group)),
+                tag,
+            )
+        )
+    return [np.array(buffers[r], copy=True) for r in group.ranks]

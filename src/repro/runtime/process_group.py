@@ -1,0 +1,106 @@
+"""Process groups (communicators) over virtual ranks.
+
+The runtime emulates an SPMD job inside one Python process: every MPI/NCCL
+rank is a *virtual rank* identified by its integer id, rank-local data
+lives in per-rank dictionaries, and the **only** channel between ranks is
+a collective operation on a :class:`ProcessGroup`.  This discipline is
+what lets the test suite prove that the 4D parallel algorithm computes the
+same numbers a real distributed run would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["ProcessGroup", "CollectiveRecord", "CommTracer"]
+
+
+@dataclass(frozen=True)
+class ProcessGroup:
+    """An ordered set of global ranks participating in collectives.
+
+    The order defines each member's *group rank* (its position), which in
+    turn defines which shard it receives from a reduce-scatter and which
+    slot it fills in an all-gather — exactly as in NCCL communicators.
+    """
+
+    ranks: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ranks:
+            raise ValueError("process group cannot be empty")
+        if len(set(self.ranks)) != len(self.ranks):
+            raise ValueError(f"duplicate ranks in group {self.ranks}")
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def group_rank(self, global_rank: int) -> int:
+        """Position of ``global_rank`` within this group."""
+        try:
+            return self.ranks.index(global_rank)
+        except ValueError:
+            raise ValueError(
+                f"rank {global_rank} not in group {self.ranks}"
+            ) from None
+
+    def __contains__(self, global_rank: int) -> bool:
+        return global_rank in self.ranks
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.ranks)
+
+    def __len__(self) -> int:
+        return len(self.ranks)
+
+
+@dataclass(frozen=True)
+class CollectiveRecord:
+    """One collective operation, as seen by the tracing layer.
+
+    ``bytes_per_rank`` is the size of each rank's *input* buffer in
+    bytes; together with ``op`` and the group size this determines the
+    communication volume of the ring algorithm.
+    """
+
+    op: str  # "all_reduce" | "reduce_scatter" | "all_gather" | "broadcast"
+    group: ProcessGroup
+    bytes_per_rank: int
+    tag: str = ""
+
+
+@dataclass
+class CommTracer:
+    """Accumulates :class:`CollectiveRecord`\\ s for pattern assertions.
+
+    Tests use the trace to check, e.g., that the Megatron-degenerate
+    configuration issues only X-group all-reduces, or that ZeRO-degenerate
+    issues all-gathers and reduce-scatters over the Z group.
+    """
+
+    records: list[CollectiveRecord] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, rec: CollectiveRecord) -> None:
+        if self.enabled:
+            self.records.append(rec)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def ops(self) -> list[str]:
+        """The op names in issue order."""
+        return [r.op for r in self.records]
+
+    def total_bytes(self, op: str | None = None) -> int:
+        """Sum of input-buffer bytes across records (optionally one op)."""
+        return sum(
+            r.bytes_per_rank
+            for r in self.records
+            if op is None or r.op == op
+        )
+
+    def by_tag(self, tag: str) -> list[CollectiveRecord]:
+        return [r for r in self.records if r.tag == tag]

@@ -1,0 +1,62 @@
+"""Discrete-event performance simulator: the stand-in testbed."""
+
+from .executor import (
+    IterationResult,
+    OverlapFlags,
+    baseline_config,
+    simulate_iteration,
+)
+from .memory import MemoryBreakdown, estimate_memory, max_batch_per_replica
+from .metrics import (
+    RunMetrics,
+    compute_metrics,
+    strong_scaling_efficiency,
+    time_to_solution_days,
+    weak_scaling_efficiency,
+)
+from .network_sim import LinkTiming, group_timings, measured_group_bandwidth
+from .trace import Timeline, TimelineEvent
+from .variability import (
+    VariabilityStats,
+    measured_batch_time,
+    variability_study,
+)
+from .scaling import (
+    WEAK_SCALING_SCHEDULES,
+    ScalingPoint,
+    best_configuration,
+    default_global_batch,
+    run_point,
+    strong_scaling_sweep,
+    weak_scaling_sweep,
+)
+
+__all__ = [
+    "OverlapFlags",
+    "IterationResult",
+    "simulate_iteration",
+    "baseline_config",
+    "MemoryBreakdown",
+    "estimate_memory",
+    "max_batch_per_replica",
+    "RunMetrics",
+    "compute_metrics",
+    "weak_scaling_efficiency",
+    "strong_scaling_efficiency",
+    "time_to_solution_days",
+    "LinkTiming",
+    "group_timings",
+    "measured_group_bandwidth",
+    "Timeline",
+    "TimelineEvent",
+    "VariabilityStats",
+    "variability_study",
+    "measured_batch_time",
+    "ScalingPoint",
+    "best_configuration",
+    "run_point",
+    "weak_scaling_sweep",
+    "strong_scaling_sweep",
+    "default_global_batch",
+    "WEAK_SCALING_SCHEDULES",
+]

@@ -1,0 +1,386 @@
+"""Discrete-event simulation of one AxoNN training iteration.
+
+The executor reproduces, per representative GPU (the SPMD program is
+symmetric), the timeline of one batch: forward all-gathers and GEMMs,
+the forward all-reduce, activation recomputation, the two backward
+GEMMs, the backward all-reduce and reduce-scatter, and the final
+data-parallel gradient all-reduce — on a two-stream model (one compute
+stream, one communication stream per GPU), with the three overlap
+optimizations of Section V-D as switches:
+
+* **OAR** — the backward all-reduce (line 12) runs concurrently with the
+  dW GEMM (line 13) and is waited on afterwards;
+* **ORS** — the weight-gradient reduce-scatters (line 14) are issued
+  asynchronously and waited on only once the whole backward pass is
+  done;
+* **OAG** — forward weight all-gathers are prefetched in topological
+  order, so layer i+1's gather overlaps layer i's compute.
+
+Compute times come from the platform GEMM model (optionally after
+kernel-mode tuning, Section V-C); communication times use ring-collective
+costs over bandwidths *measured* on the network substrate under
+contention (:mod:`repro.simulate.network_sim`) plus per-step latency —
+i.e. the simulator deliberately includes the effects (latency, compute,
+exact contention, run-to-run variability) that the analytical model of
+Section V-B assumes away.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..cluster import MachineSpec, Placement
+from ..config import GPTConfig
+from ..core.grid import Grid4D, GridConfig
+from ..kernels import GemmModel, MatmulOp, tune_matmuls
+from ..perfmodel.model import LayerShape, gpt_layer_shapes
+from ..perfmodel.ring import (
+    all_gather_time,
+    all_reduce_time,
+    reduce_scatter_time,
+)
+from .network_sim import LinkTiming, group_timings
+
+__all__ = ["OverlapFlags", "IterationResult", "simulate_iteration", "baseline_config"]
+
+#: Per-parameter bytes of the training state (see perfmodel.configs).
+BYTES_PER_PARAM = 16
+#: bf16 bytes for activations/weights/grads on the wire.
+DTYPE_BYTES = 2
+#: Amplitude of the deterministic run-to-run variability applied to the
+#: final batch time (network congestion / filesystem interference, which
+#: the paper reports observing even inside reservations).
+DEFAULT_NOISE = 0.03
+
+
+@dataclass(frozen=True)
+class OverlapFlags:
+    """Which of the Section V-D overlap optimizations are enabled."""
+
+    oar: bool = False
+    ors: bool = False
+    oag: bool = False
+
+    @staticmethod
+    def none() -> "OverlapFlags":
+        return OverlapFlags(False, False, False)
+
+    @staticmethod
+    def all() -> "OverlapFlags":
+        return OverlapFlags(True, True, True)
+
+
+@dataclass
+class IterationResult:
+    """Timing of one simulated training iteration (seconds)."""
+
+    total_time: float
+    compute_time: float
+    #: Communication time not hidden behind compute.
+    exposed_comm_time: float
+    #: Sum of all collective durations, hidden or not.
+    raw_comm_time: float
+    config: GridConfig
+    tuning_speedup: float = 1.0
+    details: dict[str, float] = field(default_factory=dict)
+
+
+def _jitter(key: str, amplitude: float) -> float:
+    """Deterministic multiplicative noise in [1-a, 1+a] from a key."""
+    if amplitude == 0.0:
+        return 1.0
+    digest = hashlib.sha256(key.encode()).digest()
+    u = int.from_bytes(digest[:8], "big") / 2**64  # [0, 1)
+    return 1.0 + amplitude * (2.0 * u - 1.0)
+
+
+def _local_gemm_shapes(
+    layer: LayerShape, config: GridConfig
+) -> tuple[int, int, int]:
+    """Per-rank local GEMM dims (m_l, k_l, n_l) for one FC layer."""
+    g_contract = config.gx if layer.transposed else config.gy
+    g_col = config.gy if layer.transposed else config.gx
+    m_l = max(1, layer.m // config.gz)
+    k_l = max(1, layer.k // g_contract)
+    n_l = max(1, layer.n // g_col)
+    return m_l, k_l, n_l
+
+
+def _attention_compute(
+    cfg: GPTConfig, config: GridConfig, batch_per_group: int, gemm: GemmModel
+) -> float:
+    """Per-layer, per-rank forward time of the attention core.
+
+    Each rank computes ``heads/G_x`` heads over its ``B/(G_z G_data)``
+    samples: two (s x hd) x (hd x s)-ish batched GEMMs per head.  These
+    small GEMMs run at low efficiency, which the size model captures.
+    """
+    b_loc = max(1, batch_per_group // config.gz)
+    heads_loc = max(1, cfg.num_heads // config.gx)
+    s, hd = cfg.seq_len, cfg.head_dim
+    per_head = gemm.time(s, hd, s, "NN") + gemm.time(s, s, hd, "NN")
+    return b_loc * heads_loc * per_head
+
+
+def _memory_bound_overheads(
+    cfg: GPTConfig,
+    config: GridConfig,
+    batch_per_group: int,
+    machine: MachineSpec,
+) -> tuple[float, float]:
+    """(per-layer elementwise time, per-iteration optimizer time).
+
+    Elementwise ops (LayerNorm, residual adds, GELU, bias) stream each
+    layer's local activations through HBM a handful of times; the
+    optimizer step reads and writes every local parameter's 16 bytes of
+    state.  Both are memory-bound and invisible to the GEMM model.
+    """
+    hbm = machine.gpu.hbm_bw
+    rows_local = max(1, batch_per_group * cfg.seq_len // config.gz)
+    h_local = max(1, cfg.hidden_size // max(config.gx, config.gy))
+    # ~10 activation-sized HBM passes per transformer layer (2 LN, 2
+    # residuals, GELU on 4h, biases), bf16.
+    elementwise = 10.0 * rows_local * h_local * DTYPE_BYTES / hbm
+    params_local = cfg.num_parameters() / config.gtensor
+    optimizer = 2.0 * params_local * BYTES_PER_PARAM / hbm
+    return elementwise, optimizer
+
+
+def _collective_times(
+    layer: LayerShape,
+    config: GridConfig,
+    timings: dict[str, LinkTiming],
+) -> dict[str, float]:
+    """Durations of the five collectives of Algorithm 1 for one layer,
+    using simulator-measured bandwidths and latencies."""
+    gx, gy = config.gx, config.gy
+    tx, ty = timings["x"], timings["y"]
+    if layer.transposed:
+        gx, gy = gy, gx
+        tx, ty = ty, tx
+    gz, gd = config.gz, config.gdata
+    tz, td = timings["z"], timings["data"]
+    m, k, n = layer.m, layer.k, layer.n
+
+    shard = k * n / (config.gx * config.gy * gz) * DTYPE_BYTES
+    block = k * n / (config.gx * config.gy) * DTYPE_BYTES
+    out_block = m * n / (gz * gx) * DTYPE_BYTES
+    in_block = m * k / (gz * gy) * DTYPE_BYTES
+
+    return {
+        "ag_z": all_gather_time(shard, gz, tz.bandwidth, tz.latency),
+        "rs_z": reduce_scatter_time(block, gz, tz.bandwidth, tz.latency),
+        "ar_fwd": all_reduce_time(out_block, gy, ty.bandwidth, ty.latency),
+        "ar_bwd": all_reduce_time(in_block, gx, tx.bandwidth, tx.latency),
+        "dp_shard_bytes": shard,
+    }
+
+
+def simulate_iteration(
+    cfg: GPTConfig,
+    global_batch: int,
+    config: GridConfig,
+    machine: MachineSpec,
+    overlap: OverlapFlags = OverlapFlags.none(),
+    kernel_tuning: bool = False,
+    activation_checkpointing: bool = True,
+    noise: float = DEFAULT_NOISE,
+    trace=None,
+    run_salt: int = 0,
+    placement_strategy: str = "block",
+) -> IterationResult:
+    """Simulate one training iteration and return its timing breakdown.
+
+    Pass a :class:`repro.simulate.trace.Timeline` as ``trace`` to record
+    every kernel and collective as a Gantt event (pre-jitter times).
+    ``run_salt`` varies the deterministic congestion jitter, modeling
+    repeated submissions of the same job (Section VI-B's run-to-run
+    variability).  ``placement_strategy`` selects the rank -> device
+    mapping (see :class:`repro.cluster.Placement`).
+    """
+    if global_batch % config.gdata:
+        raise ValueError(
+            f"global batch {global_batch} not divisible by G_data {config.gdata}"
+        )
+    placement = Placement(machine, config.total, strategy=placement_strategy)
+    grid = Grid4D(config, placement=placement)
+    timings = group_timings(grid, placement)
+    gemm = GemmModel(machine)
+    batch_per_group = global_batch // config.gdata
+    layers = gpt_layer_shapes(cfg, batch_per_group)
+
+    # --- per-layer compute and communication -----------------------------
+    tuned_speedup = 1.0
+    fwd_c: list[float] = []  # forward compute (GEMM + attention share)
+    bwd_c: list[float] = []  # backward compute (recompute + dI + dW)
+    colls: list[dict[str, float]] = []
+
+    # Kernel tuning operates on the *local* GEMM shapes.
+    ops: list[MatmulOp] = []
+    for layer in layers:
+        m_l, k_l, n_l = _local_gemm_shapes(layer, config)
+        ops.append(MatmulOp(f"{layer.name}.fwd", m_l, k_l, n_l, "NN"))
+        ops.append(MatmulOp(f"{layer.name}.dI", m_l, n_l, k_l, "NT"))
+        ops.append(MatmulOp(f"{layer.name}.dW", k_l, m_l, n_l, "TN"))
+    plan = tune_matmuls(ops, gemm)
+    if kernel_tuning:
+        tuned_speedup = plan.speedup
+
+    def op_time(name: str) -> float:
+        return plan.tuned_times[name] if kernel_tuning else plan.default_times[name]
+
+    attn_fwd = _attention_compute(cfg, config, batch_per_group, gemm)
+    elementwise, optimizer_time = _memory_bound_overheads(
+        cfg, config, batch_per_group, machine
+    )
+    for idx, layer in enumerate(layers):
+        fc = op_time(f"{layer.name}.fwd") + elementwise
+        # The attention core runs after the QKV projection of each block.
+        if layer.name.endswith(".qkv"):
+            fc += attn_fwd
+        recompute = fc if activation_checkpointing else 0.0
+        bc = recompute + op_time(f"{layer.name}.dI") + op_time(f"{layer.name}.dW")
+        bc += elementwise
+        if layer.name.endswith(".qkv"):
+            bc += 2.0 * attn_fwd  # attention backward ~ 2x forward
+        fwd_c.append(fc)
+        bwd_c.append(bc)
+        colls.append(_collective_times(layer, config, timings))
+
+    # --- multi-stream timeline ------------------------------------------
+    # One compute stream plus one communication stream per communicator
+    # family (as with NCCL/RCCL, collectives over different process
+    # groups proceed concurrently; collectives over the same group
+    # serialize).  The Z stream carries weight all-gathers and gradient
+    # reduce-scatters; the X/Y streams carry activation all-reduces.
+    comp_t = 0.0
+    comm = {"z": 0.0, "ar_fwd": 0.0, "ar_bwd": 0.0}
+
+    def emit(stream, name, start, end):
+        if trace is not None and end > start:
+            trace.add(stream, name, start, end)
+
+    # Forward pass.  Size-1 groups cost nothing and must not act as
+    # stream barriers, so zero-duration collectives are skipped.
+    for i in range(len(layers)):
+        c = colls[i]
+        name = layers[i].name
+        if c["ag_z"] > 0:
+            ag_start = comm["z"] if overlap.oag else max(comm["z"], comp_t)
+            comm["z"] = ag_start + c["ag_z"]
+            emit("comm.z", f"{name}.AG_z", ag_start, comm["z"])
+            comp_t = max(comp_t, comm["z"])
+        emit("compute", f"{name}.fwd", comp_t, comp_t + fwd_c[i])
+        comp_t += fwd_c[i]
+        if c["ar_fwd"] > 0:
+            # Forward all-reduce: blocking (the output is needed now).
+            start = max(comp_t, comm["ar_fwd"])
+            end = start + c["ar_fwd"]
+            emit("comm.ar_fwd", f"{name}.AR_fwd", start, end)
+            comp_t = comm["ar_fwd"] = end
+
+    # Backward pass (reverse layer order).
+    for i in reversed(range(len(layers))):
+        c = colls[i]
+        # Activation checkpointing re-gathers the layer's weights for the
+        # recompute; with OAG these gathers prefetch on the Z stream.
+        name = layers[i].name
+        if activation_checkpointing and c["ag_z"] > 0:
+            ag_start = comm["z"] if overlap.oag else max(comm["z"], comp_t)
+            comm["z"] = ag_start + c["ag_z"]
+            emit("comm.z", f"{name}.AG_z(recompute)", ag_start, comm["z"])
+            comp_t = max(comp_t, comm["z"])
+        # Recompute + dI GEMM (+ attention backward), then AR over the
+        # column axis.
+        dW_name = f"{name}.dW"
+        dw_time = op_time(dW_name)
+        pre_dw = bwd_c[i] - dw_time
+        emit("compute", f"{name}.bwd", comp_t, comp_t + pre_dw)
+        comp_t += pre_dw
+        if c["ar_bwd"] > 0:
+            if overlap.oar:
+                ar_start = max(comm["ar_bwd"], comp_t)
+                comm["ar_bwd"] = ar_start + c["ar_bwd"]
+                emit("comm.ar_bwd", f"{name}.AR_bwd", ar_start, comm["ar_bwd"])
+                emit("compute", f"{name}.dW", comp_t, comp_t + dw_time)
+                comp_t += dw_time
+                comp_t = max(comp_t, comm["ar_bwd"])  # wait after dW
+            else:
+                start = max(comm["ar_bwd"], comp_t)
+                end = start + c["ar_bwd"]
+                emit("comm.ar_bwd", f"{name}.AR_bwd", start, end)
+                comp_t = comm["ar_bwd"] = end
+                emit("compute", f"{name}.dW", comp_t, comp_t + dw_time)
+                comp_t += dw_time
+        else:
+            emit("compute", f"{name}.dW", comp_t, comp_t + dw_time)
+            comp_t += dw_time
+        if c["rs_z"] > 0:
+            if overlap.ors:
+                rs_start = max(comm["z"], comp_t)
+                comm["z"] = rs_start + c["rs_z"]  # async; waited at the end
+                emit("comm.z", f"{name}.RS_z", rs_start, comm["z"])
+            else:
+                start = max(comm["z"], comp_t)
+                end = start + c["rs_z"]
+                emit("comm.z", f"{name}.RS_z", start, end)
+                comp_t = comm["z"] = end
+
+    # Join streams, then the data-parallel gradient all-reduce and the
+    # (memory-bound) optimizer step.
+    t = max(comp_t, *comm.values())
+    td = timings["data"]
+    dp_bytes = sum(c["dp_shard_bytes"] for c in colls)
+    dp_time = all_reduce_time(dp_bytes, config.gdata, td.bandwidth, td.latency)
+    if dp_time > 0:
+        emit("comm.data", "grad.AR_data", t, t + dp_time)
+    emit("compute", "optimizer.step", t + dp_time, t + dp_time + optimizer_time)
+    total = t + dp_time + optimizer_time
+
+    compute_total = sum(fwd_c) + sum(bwd_c) + optimizer_time
+    raw_comm = dp_time + sum(
+        c["ag_z"] * (2 if activation_checkpointing else 1)
+        + c["rs_z"] + c["ar_fwd"] + c["ar_bwd"]
+        for c in colls
+    )
+    key = f"{machine.name}|{config}|{cfg.name}|{global_batch}"
+    if run_salt:
+        key += f"|{run_salt}"
+    total *= _jitter(key, noise)
+    total = max(total, compute_total)
+    return IterationResult(
+        total_time=total,
+        compute_time=compute_total,
+        exposed_comm_time=total - compute_total,
+        raw_comm_time=raw_comm,
+        config=config,
+        tuning_speedup=tuned_speedup,
+        details={
+            "dp_time": dp_time,
+            "attention_fwd_per_block": attn_fwd,
+        },
+    )
+
+
+def baseline_config(
+    cfg: GPTConfig, num_gpus: int, machine: MachineSpec
+) -> GridConfig:
+    """The Fig. 7 baseline: Megatron-style 1D tensor parallelism inside
+    each node (G_x = node size) plus hybrid sharded data parallelism
+    across nodes (Z grows until the shard fits in memory, the remainder
+    goes to data parallelism)."""
+    gx = min(machine.gpus_per_node, num_gpus)
+    rem = num_gpus // gx
+    budget = machine.gpu.memory_bytes * 0.8
+    gz = 1
+    while (
+        cfg.num_parameters() * BYTES_PER_PARAM / (gx * gz) > budget
+        and gz < rem
+    ):
+        gz *= 2
+    if num_gpus % (gx * gz):
+        raise ValueError(
+            f"cannot build baseline: {num_gpus} GPUs vs Gx={gx}, Gz={gz}"
+        )
+    return GridConfig(gx, 1, gz, num_gpus // (gx * gz))

@@ -1,0 +1,164 @@
+"""Weak- and strong-scaling experiment drivers.
+
+These reproduce the *procedure* of Section VII: for each (model, GPU
+count) point, pick the best of the performance model's top-k predicted
+configurations by simulated batch time (exactly how the paper selects
+run configurations), then report timings and flop/s metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster import MachineSpec
+from ..config import GPTConfig, get_model
+from ..core.grid import GridConfig
+from ..perfmodel import BandwidthDatabase, rank_configurations
+from .executor import IterationResult, OverlapFlags, simulate_iteration
+from .metrics import RunMetrics, compute_metrics
+
+__all__ = [
+    "ScalingPoint",
+    "best_configuration",
+    "run_point",
+    "weak_scaling_sweep",
+    "strong_scaling_sweep",
+    "WEAK_SCALING_SCHEDULES",
+]
+
+#: The paper's weak-scaling schedules: (model, #devices) per machine
+#: (Figs. 6 and 8, Table III).
+WEAK_SCALING_SCHEDULES: dict[str, list[tuple[str, int]]] = {
+    "perlmutter": [
+        ("GPT-5B", 512),
+        ("GPT-10B", 1024),
+        ("GPT-20B", 2048),
+        ("GPT-40B", 4096),
+    ],
+    "frontier": [
+        ("GPT-5B", 512),
+        ("GPT-10B", 1024),
+        ("GPT-20B", 2048),
+        ("GPT-40B", 4096),
+        ("GPT-80B", 8192),
+        ("GPT-160B", 16384),
+        ("GPT-320B", 32768),
+    ],
+    "alps": [
+        ("GPT-10B", 1024),
+        ("GPT-20B", 2048),
+        ("GPT-40B", 4096),
+        ("GPT-60B", 6144),
+    ],
+}
+
+
+@dataclass
+class ScalingPoint:
+    """One point of a scaling study: chosen config + timing + metrics."""
+
+    model: str
+    num_gpus: int
+    global_batch: int
+    config: GridConfig
+    result: IterationResult
+    metrics: RunMetrics
+
+
+def default_global_batch(num_gpus: int, max_sequences: int = 8192) -> int:
+    """Batch schedule used across the performance experiments: two
+    sequences per device, capped at 8192 sequences — which reaches the
+    paper's 16.8M-token batch (8192 x 2048) at 4096 devices and stays
+    there for larger scales."""
+    return min(max_sequences, 2 * num_gpus)
+
+
+def best_configuration(
+    cfg: GPTConfig,
+    global_batch: int,
+    num_gpus: int,
+    machine: MachineSpec,
+    top_k: int = 10,
+    overlap: OverlapFlags = OverlapFlags.all(),
+    kernel_tuning: bool = True,
+    db: BandwidthDatabase | None = None,
+) -> tuple[GridConfig, IterationResult]:
+    """The Section V-B procedure: take the model's top-k predicted
+    configurations and keep the one with the best simulated batch time."""
+    ranked = rank_configurations(
+        cfg, global_batch, num_gpus, machine, db=db, max_configs=top_k
+    )
+    if not ranked:
+        raise ValueError(
+            f"no feasible configuration for {cfg.name} on {num_gpus} "
+            f"devices of {machine.name}"
+        )
+    best: tuple[GridConfig, IterationResult] | None = None
+    for cand in ranked:
+        res = simulate_iteration(
+            cfg, global_batch, cand.config, machine,
+            overlap=overlap, kernel_tuning=kernel_tuning,
+        )
+        if best is None or res.total_time < best[1].total_time:
+            best = (cand.config, res)
+    assert best is not None
+    return best
+
+
+def run_point(
+    model_name: str,
+    num_gpus: int,
+    machine: MachineSpec,
+    global_batch: int | None = None,
+    overlap: OverlapFlags = OverlapFlags.all(),
+    kernel_tuning: bool = True,
+    db: BandwidthDatabase | None = None,
+) -> ScalingPoint:
+    """Simulate one (model, #GPUs) point end to end."""
+    cfg = get_model(model_name)
+    batch = global_batch if global_batch is not None else default_global_batch(num_gpus)
+    config, result = best_configuration(
+        cfg, batch, num_gpus, machine,
+        overlap=overlap, kernel_tuning=kernel_tuning, db=db,
+    )
+    metrics = compute_metrics(cfg, batch, num_gpus, machine, result.total_time)
+    return ScalingPoint(
+        model=cfg.name,
+        num_gpus=num_gpus,
+        global_batch=batch,
+        config=config,
+        result=result,
+        metrics=metrics,
+    )
+
+
+def weak_scaling_sweep(
+    machine: MachineSpec,
+    schedule: list[tuple[str, int]] | None = None,
+    **kwargs,
+) -> list[ScalingPoint]:
+    """The machine's weak-scaling study (Fig. 6 / Fig. 8 / Table III)."""
+    if schedule is None:
+        schedule = WEAK_SCALING_SCHEDULES[machine.name]
+    db = BandwidthDatabase.profile(machine)
+    return [
+        run_point(model, gpus, machine, db=db, **kwargs)
+        for model, gpus in schedule
+    ]
+
+
+def strong_scaling_sweep(
+    model_name: str,
+    gpu_counts: list[int],
+    machine: MachineSpec,
+    global_batch: int,
+    **kwargs,
+) -> list[ScalingPoint]:
+    """Fixed model and batch across increasing device counts (Fig. 9)."""
+    db = BandwidthDatabase.profile(machine)
+    return [
+        run_point(
+            model_name, gpus, machine, global_batch=global_batch, db=db, **kwargs
+        )
+        for gpus in gpu_counts
+    ]

@@ -1,0 +1,102 @@
+"""Run-to-run performance variability study (Section VI-B).
+
+"We want to note here that several runs on Perlmutter and Alps were done
+in a system-wide reservation, and even so, we noticed significant
+run-to-run performance variability ... most likely due to network
+congestion or file-system degradation."
+
+This module repeats a simulated job submission with different congestion
+draws and summarizes the spread — the quantity behind the paper's
+ten-iterations-drop-two measurement protocol (Section VI-C), whose
+warmup-discarding mean :func:`measured_batch_time` also implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster import MachineSpec
+from ..config import GPTConfig
+from ..core.grid import GridConfig
+from .executor import OverlapFlags, simulate_iteration
+
+__all__ = ["VariabilityStats", "variability_study", "measured_batch_time"]
+
+
+@dataclass(frozen=True)
+class VariabilityStats:
+    """Spread of batch times over repeated submissions."""
+
+    times: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.times))
+
+    @property
+    def min(self) -> float:
+        return float(np.min(self.times))
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self.times))
+
+    @property
+    def spread_pct(self) -> float:
+        """(max - min) / mean, in percent."""
+        return 100.0 * (self.max - self.min) / self.mean
+
+    @property
+    def cv_pct(self) -> float:
+        """Coefficient of variation, in percent."""
+        return 100.0 * float(np.std(self.times)) / self.mean
+
+
+def variability_study(
+    cfg: GPTConfig,
+    config: GridConfig,
+    machine: MachineSpec,
+    global_batch: int,
+    runs: int = 10,
+    overlap: OverlapFlags = OverlapFlags.all(),
+    kernel_tuning: bool = True,
+) -> VariabilityStats:
+    """Simulate ``runs`` submissions of the same job, each with its own
+    congestion draw."""
+    if runs < 2:
+        raise ValueError("need at least 2 runs to measure variability")
+    times = tuple(
+        simulate_iteration(
+            cfg, global_batch, config, machine,
+            overlap=overlap, kernel_tuning=kernel_tuning, run_salt=salt,
+        ).total_time
+        for salt in range(runs)
+    )
+    return VariabilityStats(times)
+
+
+def measured_batch_time(
+    cfg: GPTConfig,
+    config: GridConfig,
+    machine: MachineSpec,
+    global_batch: int,
+    iterations: int = 10,
+    warmup: int = 2,
+    **kwargs,
+) -> float:
+    """The paper's measurement protocol: run ``iterations`` batches and
+    average the last ``iterations - warmup`` (Section VI-C).  Iterations
+    within one job share the congestion environment but see small
+    per-iteration jitter."""
+    if warmup >= iterations:
+        raise ValueError("warmup must leave at least one measured iteration")
+    times = [
+        simulate_iteration(
+            cfg, global_batch, config, machine,
+            run_salt=1000 + i, **kwargs,
+        ).total_time
+        for i in range(iterations)
+    ]
+    return float(np.mean(times[warmup:]))

@@ -1,0 +1,36 @@
+"""Autograd engine: Tensor, fused NN ops, bf16 emulation, checkpointing."""
+
+from .checkpoint import checkpoint
+from .dtype import bf16_eps, is_bf16_exact, to_bf16
+from .functional import (
+    cross_entropy,
+    dropout,
+    embedding,
+    gelu,
+    layer_norm,
+    log_softmax,
+    relu,
+    softmax,
+    where_mask,
+)
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "to_bf16",
+    "bf16_eps",
+    "is_bf16_exact",
+    "checkpoint",
+    "gelu",
+    "relu",
+    "softmax",
+    "log_softmax",
+    "layer_norm",
+    "embedding",
+    "cross_entropy",
+    "dropout",
+    "where_mask",
+]

@@ -1,0 +1,198 @@
+"""Fused neural-network operations with hand-written backward passes.
+
+These are the layer-level primitives a GPT transformer is made of.  Each
+is implemented as a single autograd node with a closed-form, fully
+NumPy-vectorized backward — both for speed and so the 4D-parallel code
+can reason about exactly which arrays cross rank boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "gelu",
+    "relu",
+    "softmax",
+    "log_softmax",
+    "layer_norm",
+    "embedding",
+    "cross_entropy",
+    "dropout",
+    "where_mask",
+]
+
+_GELU_C = float(np.sqrt(2.0 / np.pi))
+
+
+def gelu(x: Tensor) -> Tensor:
+    """GELU activation (tanh approximation, as used by GPT-2/3)."""
+    xd = x.data
+    inner = _GELU_C * (xd + 0.044715 * xd**3)
+    t = np.tanh(inner)
+    data = 0.5 * xd * (1.0 + t)
+
+    def backward(g):
+        sech2 = 1.0 - t**2
+        d_inner = _GELU_C * (1.0 + 3 * 0.044715 * xd**2)
+        return (g * (0.5 * (1.0 + t) + 0.5 * xd * sech2 * d_inner),)
+
+    return Tensor._make(data, (x,), backward, "gelu")
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    data = np.maximum(x.data, 0.0)
+
+    def backward(g):
+        return (g * (x.data > 0),)
+
+    return Tensor._make(data, (x,), backward, "relu")
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(g):
+        dot = (g * data).sum(axis=axis, keepdims=True)
+        return (data * (g - dot),)
+
+    return Tensor._make(data, (x,), backward, "softmax")
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    data = shifted - lse
+    sm = np.exp(data)
+
+    def backward(g):
+        return (g - sm * g.sum(axis=axis, keepdims=True),)
+
+    return Tensor._make(data, (x,), backward, "log_softmax")
+
+
+def layer_norm(
+    x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5
+) -> Tensor:
+    """LayerNorm over the last dimension with affine parameters."""
+    xd = x.data
+    mu = xd.mean(axis=-1, keepdims=True)
+    var = xd.var(axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(var + eps)
+    xhat = (xd - mu) * inv
+    data = xhat * weight.data + bias.data
+    n = xd.shape[-1]
+
+    def backward(g):
+        gw = (g * xhat).reshape(-1, n).sum(axis=0)
+        gb = g.reshape(-1, n).sum(axis=0)
+        gx_hat = g * weight.data
+        gx = inv * (
+            gx_hat
+            - gx_hat.mean(axis=-1, keepdims=True)
+            - xhat * (gx_hat * xhat).mean(axis=-1, keepdims=True)
+        )
+        return (gx, gw, gb)
+
+    return Tensor._make(data, (x, weight, bias), backward, "layer_norm")
+
+
+def embedding(weight: Tensor, ids: np.ndarray) -> Tensor:
+    """Gather rows ``ids`` from the embedding matrix ``weight``."""
+    ids = np.asarray(ids)
+    if not np.issubdtype(ids.dtype, np.integer):
+        raise TypeError(f"token ids must be integers, got {ids.dtype}")
+    data = weight.data[ids]
+
+    def backward(g):
+        full = np.zeros_like(weight.data)
+        np.add.at(full, ids, g)
+        return (full,)
+
+    return Tensor._make(data, (weight,), backward, "embedding")
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    loss_mask: np.ndarray | None = None,
+) -> Tensor:
+    """Token-averaged cross-entropy.
+
+    ``logits``: (..., V); ``targets``: integer array of shape (...).
+    ``loss_mask``: optional {0,1} array of the same shape as ``targets``;
+    masked-out (0) positions contribute nothing to the loss or gradient —
+    this is the hook the Goldfish loss uses.
+    """
+    targets = np.asarray(targets)
+    v = logits.shape[-1]
+    flat_logits = logits.data.reshape(-1, v)
+    flat_targets = targets.reshape(-1)
+    if flat_targets.shape[0] != flat_logits.shape[0]:
+        raise ValueError(
+            f"targets shape {targets.shape} incompatible with logits "
+            f"{logits.shape}"
+        )
+    if loss_mask is None:
+        mask = np.ones(flat_targets.shape[0])
+    else:
+        mask = np.asarray(loss_mask, dtype=np.float64).reshape(-1)
+    denom = mask.sum()
+    if denom == 0:
+        raise ValueError("loss_mask masks out every token")
+
+    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    logp = shifted - lse
+    rows = np.arange(flat_targets.shape[0])
+    nll = -(logp[rows, flat_targets] * mask).sum() / denom
+    sm = np.exp(logp)
+
+    def backward(g):
+        grad = sm.copy()
+        grad[rows, flat_targets] -= 1.0
+        grad *= (mask / denom)[:, None] * g
+        return (grad.reshape(logits.shape),)
+
+    return Tensor._make(np.asarray(nll), (logits,), backward, "cross_entropy")
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator | None = None) -> Tensor:
+    """Inverted dropout with probability ``p`` of zeroing an element.
+
+    With ``p == 0`` (the default everywhere in this repo's deterministic
+    experiments) the input passes through untouched.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if p == 0.0:
+        return x
+    rng = rng or np.random.default_rng()
+    keep = (rng.random(x.shape) >= p) / (1.0 - p)
+
+    def backward(g):
+        return (g * keep,)
+
+    return Tensor._make(x.data * keep, (x,), backward, "dropout")
+
+
+def where_mask(x: Tensor, mask: np.ndarray, fill: float) -> Tensor:
+    """Replace positions where ``mask`` is False with ``fill``.
+
+    Used for causal attention masking; gradients flow only through the
+    kept positions.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    data = np.where(mask, x.data, fill)
+
+    def backward(g):
+        return (np.where(mask, g, 0.0),)
+
+    return Tensor._make(data, (x,), backward, "where_mask")

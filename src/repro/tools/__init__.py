@@ -1,0 +1,1 @@
+"""Command-line tools: configuration planning and memory reporting."""

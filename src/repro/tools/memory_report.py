@@ -1,0 +1,78 @@
+"""Command-line per-device memory report.
+
+Usage::
+
+    python -m repro.tools.memory_report MODEL GX,GY,GZ,GDATA MACHINE
+        [--batch N] [--no-checkpointing]
+
+Example::
+
+    python -m repro.tools.memory_report GPT-80B 2,1,128,32 frontier
+
+Prints the per-device memory breakdown (weights, gradients, optimizer
+state, activations, workspace) for training a model on a 4D grid, and
+the largest per-replica batch that fits.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..cluster import get_machine
+from ..config import get_model
+from ..core.grid import GridConfig
+from ..simulate import estimate_memory, max_batch_per_replica
+
+__all__ = ["main"]
+
+
+def _parse_grid(text: str) -> GridConfig:
+    parts = [int(p) for p in text.split(",")]
+    if len(parts) != 4:
+        raise argparse.ArgumentTypeError(
+            "grid must be four comma-separated integers: GX,GY,GZ,GDATA"
+        )
+    return GridConfig(*parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.memory_report", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("model")
+    parser.add_argument("grid", type=_parse_grid)
+    parser.add_argument("machine")
+    parser.add_argument("--batch", type=int, default=None)
+    parser.add_argument("--no-checkpointing", action="store_true")
+    args = parser.parse_args(argv)
+
+    cfg = get_model(args.model)
+    machine = get_machine(args.machine)
+    ck = not args.no_checkpointing
+    batch = args.batch or max(args.grid.gz, 1)
+
+    m = estimate_memory(cfg, args.grid, batch, checkpointing=ck)
+    print(
+        f"{cfg.name} on grid {args.grid} of {machine.name} "
+        f"(batch/replica {batch}, checkpointing {'on' if ck else 'off'}):\n"
+    )
+    rows = [
+        ("weights (bf16)", m.weights),
+        ("gradients (bf16)", m.gradients),
+        ("master + Adam (fp32)", m.master_and_optimizer),
+        ("activations", m.activations),
+        ("workspace (gathered W)", m.workspace),
+        ("total", m.total),
+    ]
+    for label, val in rows:
+        print(f"  {label:<24}{val / 1e9:>10.2f} GB")
+    cap = machine.gpu.memory_bytes / 1e9
+    verdict = "FITS" if m.fits(machine) else "DOES NOT FIT"
+    print(f"\n  device capacity: {cap:.0f} GB -> {verdict}")
+    best = max_batch_per_replica(cfg, args.grid, machine, checkpointing=ck)
+    print(f"  largest per-replica batch that fits: {best}")
+    return 0 if m.fits(machine) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

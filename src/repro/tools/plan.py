@@ -1,0 +1,81 @@
+"""Command-line configuration planner.
+
+Usage::
+
+    python -m repro.tools.plan MODEL NUM_GPUS MACHINE [--batch N] [--top K]
+
+Example::
+
+    python -m repro.tools.plan GPT-20B 1024 frontier --top 5
+
+Prints the performance model's top configurations with predicted
+communication time, simulated batch time, per-device memory, and the
+resulting training throughput — everything needed to pick a grid for a
+job, the way Section V-B describes.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..cluster import get_machine
+from ..config import get_model
+from ..kernels import sustained_flops
+from ..perfmodel import rank_configurations
+from ..simulate import (
+    OverlapFlags,
+    default_global_batch,
+    estimate_memory,
+    simulate_iteration,
+)
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.plan", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("model", help="model name, e.g. GPT-20B")
+    parser.add_argument("num_gpus", type=int, help="devices in the job")
+    parser.add_argument("machine", help="perlmutter | frontier | alps")
+    parser.add_argument("--batch", type=int, default=None, help="global batch (sequences)")
+    parser.add_argument("--top", type=int, default=10, help="configurations to show")
+    args = parser.parse_args(argv)
+
+    cfg = get_model(args.model)
+    machine = get_machine(args.machine)
+    batch = args.batch or default_global_batch(args.num_gpus)
+
+    print(
+        f"planning {cfg.name} on {args.num_gpus} x {machine.gpu.name} "
+        f"({machine.name}), batch {batch} sequences\n"
+    )
+    ranked = rank_configurations(cfg, batch, args.num_gpus, machine)
+    if not ranked:
+        print("no feasible configuration (model does not fit)")
+        return 1
+
+    header = (
+        f"{'#':<4}{'config':<34}{'pred comm':<12}{'batch time':<12}"
+        f"{'mem/GPU':<10}{'Tflop/s/GPU':<12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for i, cand in enumerate(ranked[: args.top], start=1):
+        sim = simulate_iteration(
+            cfg, batch, cand.config, machine,
+            overlap=OverlapFlags.all(), kernel_tuning=True,
+        )
+        mem = estimate_memory(cfg, cand.config, batch // cand.config.gdata)
+        per_gpu = sustained_flops(cfg, batch, sim.total_time) / args.num_gpus
+        print(
+            f"{i:<4}{str(cand.config):<34}"
+            f"{cand.predicted_time:<12.4f}{sim.total_time:<12.4f}"
+            f"{mem.total / 1e9:<10.1f}{per_gpu / 1e12:<12.1f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

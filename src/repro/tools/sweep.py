@@ -1,0 +1,102 @@
+"""Command-line scaling sweeps with terminal charts.
+
+Usage::
+
+    python -m repro.tools.sweep weak MACHINE            # Fig. 6/8 style
+    python -m repro.tools.sweep strong MODEL MACHINE GPUS[,GPUS...]
+        [--batch N]                                     # Fig. 9 style
+
+Examples::
+
+    python -m repro.tools.sweep weak frontier
+    python -m repro.tools.sweep strong GPT-80B frontier 512,1024,2048,4096
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..cluster import get_machine
+from ..config import get_model
+from ..simulate import (
+    run_point,
+    strong_scaling_sweep,
+    time_to_solution_days,
+    weak_scaling_sweep,
+)
+from .ascii_plot import line_chart
+
+__all__ = ["main"]
+
+
+def _weak(machine_name: str) -> int:
+    machine = get_machine(machine_name)
+    points = weak_scaling_sweep(machine)
+    print(f"weak scaling on {machine.name}\n")
+    for p in points:
+        print(
+            f"  {p.model:<10}{p.num_gpus:<8}{str(p.config):<34}"
+            f"{p.result.total_time:>8.2f}s  {p.metrics.pflops:>8.1f} Pflop/s  "
+            f"{p.metrics.pct_advertised_peak:>5.1f}%"
+        )
+    xs = [float(i) for i in range(len(points))]
+    print()
+    print(
+        line_chart(
+            xs,
+            {
+                "Pflop/s": [p.metrics.pflops for p in points],
+                "%peak": [p.metrics.pct_advertised_peak for p in points],
+            },
+            x_label="scale step (see table)",
+        )
+    )
+    return 0
+
+
+def _strong(model: str, machine_name: str, gpus: list[int], batch: int) -> int:
+    machine = get_machine(machine_name)
+    cfg = get_model(model)
+    points = strong_scaling_sweep(model, gpus, machine, global_batch=batch)
+    print(f"strong scaling: {cfg.name} on {machine.name}, batch {batch}\n")
+    days = []
+    for p in points:
+        d = time_to_solution_days(cfg, batch, p.result.total_time, 2e12)
+        days.append(d)
+        print(
+            f"  {p.num_gpus:<8}{str(p.config):<34}"
+            f"{p.result.total_time:>9.2f}s   {d:>8.1f} days to 2T tokens"
+        )
+    print()
+    print(
+        line_chart(
+            [float(g) for g in gpus],
+            {"days to 2T tokens": days},
+            x_label="devices",
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.sweep", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="kind", required=True)
+    w = sub.add_parser("weak", help="the machine's Fig. 6/8 schedule")
+    w.add_argument("machine")
+    s = sub.add_parser("strong", help="fixed model, growing device counts")
+    s.add_argument("model")
+    s.add_argument("machine")
+    s.add_argument("gpus", help="comma-separated device counts")
+    s.add_argument("--batch", type=int, default=8192)
+    args = parser.parse_args(argv)
+
+    if args.kind == "weak":
+        return _weak(args.machine)
+    gpus = [int(g) for g in args.gpus.split(",")]
+    return _strong(args.model, args.machine, gpus, args.batch)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,296 @@
+"""Tests for the virtual runtime's ring collectives.
+
+The collectives are the foundation the 4D algorithm's correctness rests
+on, so they are verified exhaustively: against NumPy reference
+reductions, for NCCL's replica-consistency invariant, and with
+property-based tests over group sizes and shapes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    CommTracer,
+    Handle,
+    ProcessGroup,
+    all_gather,
+    all_reduce,
+    broadcast,
+    iall_gather,
+    iall_reduce,
+    ireduce_scatter,
+    reduce_scatter,
+)
+
+
+def _buffers(group, shape, seed=0, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    return {r: rng.standard_normal(shape).astype(dtype) for r in group}
+
+
+class TestProcessGroup:
+    def test_group_rank(self):
+        g = ProcessGroup((4, 2, 7))
+        assert g.group_rank(2) == 1
+        assert 7 in g and 3 not in g
+        assert len(g) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessGroup(())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessGroup((1, 1))
+
+    def test_missing_rank(self):
+        with pytest.raises(ValueError):
+            ProcessGroup((0, 1)).group_rank(5)
+
+
+class TestAllReduce:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8])
+    def test_matches_numpy_sum(self, size):
+        g = ProcessGroup(tuple(range(size)))
+        bufs = _buffers(g, (6, 5), seed=size)
+        expect = np.sum([bufs[r] for r in g], axis=0)
+        out = all_reduce(bufs, g)
+        for r in g:
+            np.testing.assert_allclose(out[r], expect, rtol=1e-12)
+
+    @pytest.mark.parametrize("size", [2, 3, 4])
+    def test_all_ranks_identical(self, size):
+        """NCCL invariant: all-reduce output is bit-identical everywhere."""
+        g = ProcessGroup(tuple(range(size)))
+        out = all_reduce(_buffers(g, (7, 3)), g)
+        base = out[0]
+        for r in g:
+            assert np.array_equal(out[r], base)
+
+    def test_max_op(self):
+        g = ProcessGroup((0, 1, 2))
+        bufs = _buffers(g, (4,))
+        out = all_reduce(bufs, g, op="max")
+        expect = np.max([bufs[r] for r in g], axis=0)
+        np.testing.assert_array_equal(out[0], expect)
+
+    def test_does_not_mutate_inputs(self):
+        g = ProcessGroup((0, 1))
+        bufs = _buffers(g, (4, 4))
+        copies = {r: bufs[r].copy() for r in g}
+        all_reduce(bufs, g)
+        for r in g:
+            np.testing.assert_array_equal(bufs[r], copies[r])
+
+    def test_non_divisible_length_padded(self):
+        g = ProcessGroup((0, 1, 2))
+        bufs = _buffers(g, (7,))  # 7 not divisible by 3
+        out = all_reduce(bufs, g)
+        expect = np.sum([bufs[r] for r in g], axis=0)
+        np.testing.assert_allclose(out[1], expect, rtol=1e-12)
+
+    def test_mismatched_shapes_rejected(self):
+        g = ProcessGroup((0, 1))
+        bufs = {0: np.zeros(3), 1: np.zeros(4)}
+        with pytest.raises(ValueError):
+            all_reduce(bufs, g)
+
+    def test_wrong_keys_rejected(self):
+        g = ProcessGroup((0, 1))
+        with pytest.raises(ValueError):
+            all_reduce({0: np.zeros(3), 2: np.zeros(3)}, g)
+
+
+class TestReduceScatter:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 6])
+    def test_matches_reference(self, size):
+        g = ProcessGroup(tuple(range(size)))
+        bufs = _buffers(g, (size * 3, 4), seed=7)
+        total = np.sum([bufs[r] for r in g], axis=0)
+        out = reduce_scatter(bufs, g)
+        for pos, r in enumerate(g):
+            np.testing.assert_allclose(
+                out[r], total[pos * 3 : (pos + 1) * 3], rtol=1e-12
+            )
+
+    def test_nondivisible_rejected(self):
+        g = ProcessGroup((0, 1, 2))
+        with pytest.raises(ValueError):
+            reduce_scatter(_buffers(g, (7, 2)), g)
+
+    def test_group_order_determines_shards(self):
+        """Shard ownership follows group position, not global rank."""
+        g = ProcessGroup((5, 3))
+        bufs = {5: np.arange(4.0), 3: np.arange(4.0) * 10}
+        out = reduce_scatter(bufs, g)
+        total = bufs[5] + bufs[3]
+        np.testing.assert_array_equal(out[5], total[:2])  # position 0
+        np.testing.assert_array_equal(out[3], total[2:])  # position 1
+
+
+class TestAllGather:
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+    def test_concatenates_in_group_order(self, size):
+        g = ProcessGroup(tuple(range(size)))
+        bufs = _buffers(g, (2, 3), seed=11)
+        expect = np.concatenate([bufs[r] for r in g], axis=0)
+        out = all_gather(bufs, g)
+        for r in g:
+            np.testing.assert_array_equal(out[r], expect)
+
+    def test_inverse_of_reduce_scatter(self):
+        """reduce-scatter then all-gather == all-reduce."""
+        g = ProcessGroup((0, 1, 2, 3))
+        bufs = _buffers(g, (8, 2), seed=3)
+        rs = reduce_scatter(bufs, g)
+        ag = all_gather(rs, g)
+        ar = all_reduce(bufs, g)
+        for r in g:
+            np.testing.assert_allclose(ag[r], ar[r], rtol=1e-12)
+
+
+class TestBroadcast:
+    def test_broadcast_from_root(self):
+        g = ProcessGroup((0, 1, 2))
+        bufs = _buffers(g, (3,))
+        out = broadcast(bufs, g, root=1)
+        for r in g:
+            np.testing.assert_array_equal(out[r], bufs[1])
+
+    def test_root_must_be_member(self):
+        g = ProcessGroup((0, 1))
+        with pytest.raises(ValueError):
+            broadcast(_buffers(g, (2,)), g, root=9)
+
+
+class TestNonBlocking:
+    def test_handle_semantics(self):
+        g = ProcessGroup((0, 1))
+        bufs = _buffers(g, (4,))
+        h = iall_reduce(bufs, g)
+        assert isinstance(h, Handle)
+        assert not h.completed
+        out = h.wait()
+        assert h.completed
+        expect = bufs[0] + bufs[1]
+        np.testing.assert_allclose(out[0], expect, rtol=1e-12)
+
+    def test_double_wait_rejected(self):
+        g = ProcessGroup((0, 1))
+        h = iall_gather(_buffers(g, (2,)), g)
+        h.wait()
+        with pytest.raises(RuntimeError):
+            h.wait()
+
+    def test_ireduce_scatter(self):
+        g = ProcessGroup((0, 1))
+        bufs = _buffers(g, (4,))
+        out = ireduce_scatter(bufs, g).wait()
+        total = bufs[0] + bufs[1]
+        np.testing.assert_allclose(out[0], total[:2], rtol=1e-12)
+
+
+class TestTracer:
+    def test_records_ops_and_bytes(self):
+        g = ProcessGroup((0, 1))
+        tr = CommTracer()
+        bufs = _buffers(g, (8,))
+        all_reduce(bufs, g, tracer=tr, tag="grad")
+        all_gather(bufs, g, tracer=tr)
+        assert tr.ops() == ["all_reduce", "all_gather"]
+        assert tr.total_bytes("all_reduce") == 8 * 8
+        assert len(tr.by_tag("grad")) == 1
+        tr.clear()
+        assert tr.records == []
+
+    def test_disabled_tracer(self):
+        g = ProcessGroup((0, 1))
+        tr = CommTracer(enabled=False)
+        all_reduce(_buffers(g, (2,)), g, tracer=tr)
+        assert tr.records == []
+
+
+class TestProperties:
+    """Property-based checks over group size, shape, and seed."""
+
+    @given(
+        size=st.integers(1, 6),
+        rows=st.integers(1, 4),
+        cols=st.integers(1, 4),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_reduce_is_sum(self, size, rows, cols, seed):
+        g = ProcessGroup(tuple(range(size)))
+        bufs = _buffers(g, (rows, cols), seed=seed)
+        out = all_reduce(bufs, g)
+        expect = np.sum([bufs[r] for r in g], axis=0)
+        for r in g:
+            np.testing.assert_allclose(out[r], expect, rtol=1e-10, atol=1e-10)
+
+    @given(size=st.integers(1, 6), chunk=st.integers(1, 5), seed=st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_gather_scatter_roundtrip(self, size, chunk, seed):
+        """all-gather of reduce-scatter shards equals the full reduction."""
+        g = ProcessGroup(tuple(range(size)))
+        bufs = _buffers(g, (size * chunk,), seed=seed)
+        full = np.sum([bufs[r] for r in g], axis=0)
+        out = all_gather(reduce_scatter(bufs, g), g)
+        for r in g:
+            np.testing.assert_allclose(out[r], full, rtol=1e-10, atol=1e-10)
+
+
+class TestPointToPointAndRooted:
+    def test_send_recv(self):
+        from repro.runtime import send_recv
+
+        tr = CommTracer()
+        buf = np.arange(6.0)
+        out = send_recv(buf, src=0, dst=3, tracer=tr, tag="act")
+        np.testing.assert_array_equal(out, buf)
+        assert out is not buf  # the destination owns a copy
+        assert tr.records[0].op == "p2p"
+        assert tr.records[0].bytes_per_rank == 48
+        with pytest.raises(ValueError):
+            send_recv(buf, 1, 1)
+
+    def test_scatter_gather_roundtrip(self):
+        from repro.runtime import gather, scatter
+
+        g = ProcessGroup((0, 1, 2))
+        chunks = [np.full(i + 1, float(i)) for i in range(3)]
+        scattered = scatter(chunks, g, root=0)
+        for i, r in enumerate(g.ranks):
+            np.testing.assert_array_equal(scattered[r], chunks[i])
+        back = gather(scattered, g, root=0)
+        for a, b in zip(back, chunks):
+            np.testing.assert_array_equal(a, b)
+
+    def test_scatter_validation(self):
+        from repro.runtime import scatter
+
+        g = ProcessGroup((0, 1))
+        with pytest.raises(ValueError):
+            scatter([np.zeros(1)], g, root=0)  # wrong chunk count
+        with pytest.raises(ValueError):
+            scatter([np.zeros(1), np.zeros(1)], g, root=9)
+
+    def test_gather_validation(self):
+        from repro.runtime import gather
+
+        g = ProcessGroup((0, 1))
+        with pytest.raises(ValueError):
+            gather({0: np.zeros(1)}, g, root=0)  # missing rank 1
+        with pytest.raises(ValueError):
+            gather({0: np.zeros(1), 1: np.zeros(1)}, g, root=5)
+
+    def test_traced_ops(self):
+        from repro.runtime import gather, scatter
+
+        g = ProcessGroup((0, 1))
+        tr = CommTracer()
+        scattered = scatter([np.zeros(2), np.zeros(2)], g, 0, tracer=tr)
+        gather(scattered, g, 0, tracer=tr)
+        assert tr.ops() == ["scatter", "gather"]

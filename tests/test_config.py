@@ -1,0 +1,69 @@
+"""Tests for the Table II model zoo."""
+
+import pytest
+
+from repro.config import DEFAULT_SEQ_LEN, MODEL_ZOO, GPTConfig, get_model
+
+
+def test_zoo_has_all_table2_rows():
+    names = {
+        "GPT-5B", "GPT-10B", "GPT-20B", "GPT-40B", "GPT-60B",
+        "GPT-80B", "GPT-160B", "GPT-320B", "GPT-640B",
+    }
+    assert set(MODEL_ZOO) == names
+
+
+@pytest.mark.parametrize(
+    "name,layers,hidden,heads",
+    [
+        ("GPT-5B", 24, 4096, 32),
+        ("GPT-10B", 32, 5120, 40),
+        ("GPT-20B", 32, 7168, 56),
+        ("GPT-40B", 38, 9216, 72),
+        ("GPT-60B", 56, 9216, 72),
+        ("GPT-80B", 42, 12288, 96),
+        ("GPT-160B", 84, 12288, 96),
+        ("GPT-320B", 96, 16384, 128),
+        ("GPT-640B", 192, 16384, 128),
+    ],
+)
+def test_table2_hyperparameters(name, layers, hidden, heads):
+    cfg = get_model(name)
+    assert cfg.num_layers == layers
+    assert cfg.hidden_size == hidden
+    assert cfg.num_heads == heads
+    assert cfg.seq_len == DEFAULT_SEQ_LEN
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+def test_parameter_count_close_to_nominal(name):
+    """The exact count should be within 25% of the size label."""
+    cfg = get_model(name)
+    exact = cfg.num_parameters()
+    assert 0.75 * cfg.nominal_params <= exact <= 1.3 * cfg.nominal_params
+
+
+def test_get_model_shorthand():
+    assert get_model("20B") is get_model("GPT-20B")
+
+
+def test_get_model_unknown():
+    with pytest.raises(KeyError):
+        get_model("GPT-7B")
+
+
+def test_head_divisibility_enforced():
+    with pytest.raises(ValueError):
+        GPTConfig(name="bad", num_layers=2, hidden_size=100, num_heads=7)
+
+
+def test_scaled_override():
+    cfg = get_model("GPT-5B").scaled(seq_len=1024)
+    assert cfg.seq_len == 1024
+    assert cfg.hidden_size == 4096
+
+
+def test_ffn_hidden_and_head_dim():
+    cfg = get_model("GPT-5B")
+    assert cfg.ffn_hidden == 4 * 4096
+    assert cfg.head_dim == 128

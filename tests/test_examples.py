@@ -1,0 +1,84 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the library's front door; a broken example is a broken
+deliverable, so each one executes end to end here (with the smallest
+arguments where the script takes any).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "choose_configuration.py",
+        "weak_scaling_study.py",
+        "memorization_study.py",
+        "degenerate_schemes.py",
+    } <= names
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "quickstart OK" in out
+    assert "linear.AG_z" in out
+
+
+def test_degenerate_schemes():
+    out = run_example("degenerate_schemes.py")
+    assert "identical loss" in out
+    assert "fsdp" in out and "megatron" in out
+
+
+def test_choose_configuration():
+    out = run_example("choose_configuration.py", "GPT-5B", "64", "perlmutter")
+    assert "selected:" in out
+    assert "batch time" in out
+
+
+def test_weak_scaling_study_single_machine():
+    out = run_example("weak_scaling_study.py", "perlmutter")
+    assert "weak scaling on perlmutter" in out
+    assert "peak sustained" in out
+
+
+@pytest.mark.slow
+def test_memorization_study():
+    out = run_example("memorization_study.py", "1", timeout=900)
+    assert "goldfish" in out
+    assert "Figs. 10 and 11" in out
+
+
+def test_pipeline_vs_4d():
+    out = run_example("pipeline_vs_4d.py")
+    assert "three routes, one computation" in out
+    assert "bubble" in out
+
+
+def test_moe_expert_parallelism():
+    out = run_example("moe_expert_parallelism.py")
+    assert "MoE expert parallelism OK" in out
+    assert "moe.dispatch" in out
+
+
+def test_full_training_run():
+    out = run_example("full_training_run.py")
+    assert "full training run OK" in out

@@ -1,0 +1,152 @@
+"""Tests for the GEMM model, kernel autotuner, and FLOP accounting."""
+
+import pytest
+
+from repro.cluster import ALPS, FRONTIER, PERLMUTTER
+from repro.config import get_model
+from repro.kernels import (
+    MODES,
+    GemmModel,
+    MatmulOp,
+    flops_per_iteration,
+    flops_per_token,
+    percent_of_peak,
+    sustained_flops,
+    tune_matmuls,
+)
+
+
+class TestGemmModel:
+    def test_large_nn_approaches_empirical_peak(self):
+        g = GemmModel(PERLMUTTER)
+        eff = g.efficiency(32768, 32768, 32768, "NN")
+        # Section VI-C: 280/312 = 90% at 32768^2.
+        assert eff == pytest.approx(PERLMUTTER.gpu.gemm_efficiency, rel=0.05)
+
+    def test_small_matmuls_are_inefficient(self):
+        g = GemmModel(PERLMUTTER)
+        assert g.efficiency(128, 128, 128) < 0.2
+        assert g.efficiency(8192, 8192, 8192) > 0.75
+
+    def test_frontier_tn_pathology_at_gpt320b_scale(self):
+        """The paper's headline: TN at hidden 16384 runs ~8x slower than
+        NN (6% vs 55% of peak)."""
+        g = GemmModel(FRONTIER)
+        h = 16384
+        m_batch = 4096
+        # dW = I^T @ dO: an (h x m) @ (m x h) product -> output (h, h).
+        tn = g.time(h, m_batch, h, "TN")
+        nn = g.time(h, m_batch, h, "NN")
+        assert tn / nn == pytest.approx(8.0, rel=0.05)
+
+    def test_frontier_tn_mild_at_small_hidden(self):
+        g = GemmModel(FRONTIER)
+        ratio = g.time(7168, 16384, 7168, "TN") / g.time(7168, 16384, 7168, "NN")
+        assert ratio < 1.3
+
+    def test_cuda_platforms_have_mild_mode_gaps(self):
+        for machine in (PERLMUTTER, ALPS):
+            g = GemmModel(machine)
+            for mode in MODES:
+                ratio = g.time(8192, 16384, 8192, mode) / g.time(8192, 16384, 8192, "NN")
+                assert ratio <= 1.2
+
+    def test_time_scales_with_flops(self):
+        g = GemmModel(ALPS)
+        t1 = g.time(8192, 8192, 8192)
+        t2 = g.time(16384, 8192, 8192)
+        assert t2 > t1 * 1.8  # ~2x flops, slightly better efficiency
+
+    def test_validation(self):
+        g = GemmModel(PERLMUTTER)
+        with pytest.raises(ValueError):
+            g.time(0, 10, 10)
+        with pytest.raises(ValueError):
+            g.mode_factor("XX", 128, 128, 128)
+
+
+class TestTuner:
+    def test_tuner_fixes_frontier_tn(self):
+        """The GPT-320B anecdote: tuning switches the TN weight-gradient
+        GEMM to NN for a large speedup."""
+        g = GemmModel(FRONTIER)
+        ops = [MatmulOp("block.dW", m=16384, k=4096, n=16384, default_mode="TN")]
+        plan = tune_matmuls(ops, g)
+        assert plan.mode_for("block.dW") == "NN"
+        assert plan.speedup > 6.0
+
+    def test_tuner_keeps_good_defaults(self):
+        g = GemmModel(PERLMUTTER)
+        ops = [MatmulOp("fwd", 4096, 4096, 4096, "NN")]
+        plan = tune_matmuls(ops, g)
+        assert plan.mode_for("fwd") == "NN"
+        assert plan.speedup == pytest.approx(1.0)
+
+    def test_transpose_overhead_prevents_marginal_switches(self):
+        """NT on Perlmutter is only 5% slower than NN; switching would
+        pay a 5% relayout cost, so the tuner must keep NT."""
+        g = GemmModel(PERLMUTTER)
+        ops = [MatmulOp("dI", 4096, 4096, 4096, "NT")]
+        plan = tune_matmuls(ops, g)
+        assert plan.mode_for("dI") == "NT"
+
+    def test_modest_gains_for_small_models_on_frontier(self):
+        """Fig. 7: kernel tuning helps only 2-4% for models below the
+        TN-pathology threshold."""
+        g = GemmModel(FRONTIER)
+        cfg = get_model("GPT-20B")  # hidden 7168 < 8192
+        h = cfg.hidden_size
+        m = 8 * cfg.seq_len
+        ops = []
+        for i in range(4):
+            ops.append(MatmulOp(f"l{i}.fwd", m, h, 4 * h, "NN"))
+            ops.append(MatmulOp(f"l{i}.dI", m, 4 * h, h, "NT"))
+            ops.append(MatmulOp(f"l{i}.dW", h, m, 4 * h, "TN"))
+        plan = tune_matmuls(ops, g)
+        assert 1.0 <= plan.speedup < 1.15
+
+    def test_duplicate_names_rejected(self):
+        g = GemmModel(FRONTIER)
+        ops = [MatmulOp("a", 8, 8, 8), MatmulOp("a", 8, 8, 8)]
+        with pytest.raises(ValueError):
+            tune_matmuls(ops, g)
+
+
+class TestFlops:
+    def test_narayanan_formula_literal(self):
+        cfg = get_model("GPT-5B")
+        b, s, l, h, v = 8, 2048, 24, 4096, 51200
+        expect = 96 * b * s * l * h * h * (1 + s / (6 * h) + v / (16 * l * h))
+        assert flops_per_iteration(cfg, 8) == pytest.approx(expect)
+
+    def test_no_checkpointing_coefficient(self):
+        cfg = get_model("GPT-5B")
+        assert flops_per_iteration(cfg, 4, checkpointing=False) == pytest.approx(
+            flops_per_iteration(cfg, 4) * 72 / 96
+        )
+
+    def test_flops_per_token_consistent(self):
+        cfg = get_model("GPT-10B")
+        assert flops_per_token(cfg) * cfg.seq_len == pytest.approx(
+            flops_per_iteration(cfg, 1)
+        )
+
+    def test_sustained_and_percent(self):
+        cfg = get_model("GPT-5B")
+        f = sustained_flops(cfg, 8, batch_time_s=2.0)
+        assert f == pytest.approx(flops_per_iteration(cfg, 8) / 2.0)
+        assert percent_of_peak(50.0, 100.0) == 50.0
+
+    def test_validation(self):
+        cfg = get_model("GPT-5B")
+        with pytest.raises(ValueError):
+            flops_per_iteration(cfg, 0)
+        with pytest.raises(ValueError):
+            sustained_flops(cfg, 8, 0.0)
+        with pytest.raises(ValueError):
+            percent_of_peak(1.0, 0.0)
+
+    def test_bigger_models_need_more_flops_per_token(self):
+        small = flops_per_token(get_model("GPT-5B"))
+        big = flops_per_token(get_model("GPT-80B"))
+        assert big > 10 * small

@@ -1,0 +1,112 @@
+"""Tests for the per-device memory model."""
+
+import pytest
+
+from repro.cluster import ALPS, FRONTIER, PERLMUTTER
+from repro.config import get_model
+from repro.core import GridConfig
+from repro.simulate import estimate_memory, max_batch_per_replica
+
+
+class TestMemoryBreakdown:
+    def test_model_state_is_16_bytes_per_param(self):
+        """bf16 weights + bf16 grads + fp32 master + fp32 Adam m,v =
+        16 B/param, the ZeRO accounting."""
+        cfg = get_model("GPT-5B")
+        m = estimate_memory(cfg, GridConfig(1, 1, 1, 1), 1)
+        assert m.model_state == pytest.approx(cfg.num_parameters() * 16)
+
+    def test_tensor_parallelism_shards_state(self):
+        cfg = get_model("GPT-20B")
+        m1 = estimate_memory(cfg, GridConfig(1, 1, 1, 1), 8)
+        m8 = estimate_memory(cfg, GridConfig(2, 2, 2, 1), 8)
+        assert m8.model_state == pytest.approx(m1.model_state / 8)
+
+    def test_data_parallelism_does_not_shard_state(self):
+        cfg = get_model("GPT-5B")
+        m1 = estimate_memory(cfg, GridConfig(1, 1, 1, 1), 8)
+        m8 = estimate_memory(cfg, GridConfig(1, 1, 1, 8), 8)
+        assert m8.model_state == pytest.approx(m1.model_state)
+
+    def test_checkpointing_slashes_activation_memory(self):
+        """Section VI-A's motivation: activations dominate without
+        recomputation; checkpointing reduces them by ~num_layers."""
+        cfg = get_model("GPT-5B")
+        grid = GridConfig(2, 2, 2, 1)
+        with_ck = estimate_memory(cfg, grid, 16, checkpointing=True)
+        without = estimate_memory(cfg, grid, 16, checkpointing=False)
+        assert without.activations > 10 * with_ck.activations
+        # Non-activation categories are identical.
+        assert without.model_state == with_ck.model_state
+        assert without.workspace == with_ck.workspace
+
+    def test_z_sharding_memory_optimization(self):
+        """The paper's W-sharding along Z: weight state shrinks by G_z
+        (vs Agarwal's replication, which would not)."""
+        cfg = get_model("GPT-20B")
+        m1 = estimate_memory(cfg, GridConfig(2, 2, 1, 1), 8)
+        m4 = estimate_memory(cfg, GridConfig(2, 2, 4, 1), 8)
+        assert m4.weights == pytest.approx(m1.weights / 4)
+        # The gathered-W workspace, however, does NOT shrink with Z —
+        # line 2 reassembles the full (j, i) block on every rank.
+        assert m4.workspace == m1.workspace
+
+    def test_activations_scale_with_batch(self):
+        cfg = get_model("GPT-5B")
+        grid = GridConfig(1, 1, 2, 1)
+        a = estimate_memory(cfg, grid, 4).activations
+        b = estimate_memory(cfg, grid, 8).activations
+        assert b == pytest.approx(2 * a)
+
+    def test_validation(self):
+        cfg = get_model("GPT-5B")
+        with pytest.raises(ValueError):
+            estimate_memory(cfg, GridConfig(1, 1, 1, 1), 0)
+
+
+class TestFits:
+    def test_5b_does_not_fit_one_a100(self):
+        """5B params x 16 B = 80 GB of state alone vs a 40 GB A100 —
+        why sharded methods exist (Section IV-A)."""
+        cfg = get_model("GPT-5B")
+        m = estimate_memory(cfg, GridConfig(1, 1, 1, 1), 1)
+        assert not m.fits(PERLMUTTER)
+
+    def test_5b_fits_with_4way_sharding(self):
+        cfg = get_model("GPT-5B")
+        m = estimate_memory(cfg, GridConfig(1, 1, 4, 1), 4)
+        assert m.fits(PERLMUTTER)
+
+    def test_320b_needs_large_tensor_groups_on_frontier(self):
+        cfg = get_model("GPT-320B")
+        small = estimate_memory(cfg, GridConfig(2, 2, 2, 1), 8)
+        assert not small.fits(FRONTIER)
+        big = estimate_memory(cfg, GridConfig(2, 2, 64, 1), 128)
+        assert big.fits(FRONTIER)
+
+    def test_headroom_parameter(self):
+        cfg = get_model("GPT-5B")
+        m = estimate_memory(cfg, GridConfig(1, 1, 4, 1), 4)
+        assert m.fits(ALPS, headroom=0.9)
+        assert not m.fits(ALPS, headroom=m.total / ALPS.gpu.memory_bytes * 0.99)
+
+
+class TestMaxBatch:
+    def test_max_batch_fits_and_double_does_not(self):
+        cfg = get_model("GPT-20B")
+        grid = GridConfig(2, 2, 8, 1)
+        b = max_batch_per_replica(cfg, grid, FRONTIER)
+        assert b >= grid.gz
+        assert estimate_memory(cfg, grid, b).fits(FRONTIER)
+        assert not estimate_memory(cfg, grid, 2 * b).fits(FRONTIER)
+
+    def test_zero_when_state_does_not_fit(self):
+        cfg = get_model("GPT-640B")
+        assert max_batch_per_replica(cfg, GridConfig(2, 2, 2, 1), FRONTIER) == 0
+
+    def test_checkpointing_allows_bigger_batches(self):
+        cfg = get_model("GPT-10B")
+        grid = GridConfig(2, 2, 4, 1)
+        with_ck = max_batch_per_replica(cfg, grid, FRONTIER, checkpointing=True)
+        without = max_batch_per_replica(cfg, grid, FRONTIER, checkpointing=False)
+        assert with_ck > without

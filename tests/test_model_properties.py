@@ -1,0 +1,164 @@
+"""Property-based tests over the performance and memory models.
+
+Monotonicity and scaling laws that must hold for any input — the
+guardrails that keep the simulator physically sensible as it evolves.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ALPS, FRONTIER, PERLMUTTER
+from repro.config import get_model
+from repro.core import GridConfig
+from repro.kernels import GemmModel
+from repro.perfmodel import all_reduce_time, layer_comm_time, LayerShape
+from repro.pipeline import bubble_fraction
+from repro.simulate import estimate_memory
+
+MACHINES = [PERLMUTTER, FRONTIER, ALPS]
+
+
+class TestGemmModelProperties:
+    @given(
+        m=st.sampled_from([256, 1024, 4096, 16384]),
+        k=st.sampled_from([256, 1024, 4096]),
+        n=st.sampled_from([256, 1024, 4096]),
+        mi=st.integers(0, 2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_efficiency_bounded_and_time_positive(self, m, k, n, mi):
+        g = GemmModel(MACHINES[mi])
+        for mode in ("NN", "NT", "TN"):
+            eff = g.efficiency(m, k, n, mode)
+            assert 0 < eff <= MACHINES[mi].gpu.gemm_efficiency + 1e-12
+            assert g.time(m, k, n, mode) > 0
+
+    @given(
+        m=st.sampled_from([512, 2048, 8192]),
+        mi=st.integers(0, 2),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_bigger_problems_are_never_less_efficient(self, m, mi):
+        g = GemmModel(MACHINES[mi])
+        assert g.efficiency(2 * m, m, m) >= g.efficiency(m, m, m)
+
+    @given(mi=st.integers(0, 2), m=st.sampled_from([1024, 4096]))
+    @settings(max_examples=12, deadline=None)
+    def test_nn_is_the_fastest_mode(self, mi, m):
+        g = GemmModel(MACHINES[mi])
+        nn = g.time(m, m, m, "NN")
+        assert g.time(m, m, m, "NT") >= nn
+        assert g.time(m, m, m, "TN") >= nn
+
+
+class TestCommModelProperties:
+    @given(
+        buf=st.floats(1e3, 1e10),
+        p=st.integers(2, 128),
+        beta=st.floats(1e9, 1e12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_reduce_monotone_in_bandwidth(self, buf, p, beta):
+        assert all_reduce_time(buf, p, beta) > all_reduce_time(
+            buf, p, 2 * beta
+        )
+
+    @given(
+        m=st.sampled_from([1024, 8192]),
+        k=st.sampled_from([1024, 4096]),
+        n=st.sampled_from([1024, 4096]),
+        gz=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_more_z_sharding_means_less_gather_time_per_rank(self, m, k, n, gz):
+        """The AG_z term shrinks with G_z (each rank gathers the same
+        block from smaller shards): Eq. 1's (Gz-1)/Gz growth is bounded
+        while the shard shrinks by 1/Gz."""
+        betas = {"x": 1e11, "y": 1e11, "z": 1e11, "data": 1e11}
+        t1 = layer_comm_time(LayerShape("l", m, k, n), GridConfig(1, 1, gz, 1), betas)
+        t2 = layer_comm_time(
+            LayerShape("l", m, k, n), GridConfig(1, 1, 2 * gz, 1), betas
+        )
+        if gz == 1:
+            # No sharding, no Z traffic at all.
+            assert t1.ag_z == t1.rs_z == 0.0
+        else:
+            # Beyond that, total Z traffic saturates: (Gz-1)/Gz growth
+            # against a 1/Gz shard keeps doubling within ~2x.
+            assert t2.ag_z + t2.rs_z <= 2 * (t1.ag_z + t1.rs_z) + 1e-12
+
+    @given(
+        gx=st.sampled_from([1, 2, 4]),
+        gy=st.sampled_from([1, 2, 4]),
+        m=st.sampled_from([2048, 8192]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_no_tensor_axes_no_activation_traffic(self, gx, gy, m):
+        betas = {"x": 1e11, "y": 1e11, "z": 1e11, "data": 1e11}
+        bd = layer_comm_time(
+            LayerShape("l", m, 4096, 4096), GridConfig(1, 1, 4, 4), betas
+        )
+        assert bd.ar_x == 0.0 and bd.ar_y == 0.0
+        bd2 = layer_comm_time(
+            LayerShape("l", m, 4096, 4096), GridConfig(gx, gy, 4, 4), betas
+        )
+        if gx > 1:
+            assert bd2.ar_x > 0
+        if gy > 1:
+            assert bd2.ar_y > 0
+
+
+class TestMemoryModelProperties:
+    @given(
+        gz=st.sampled_from([1, 2, 4, 8]),
+        batch=st.sampled_from([8, 16, 32]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_total_memory_monotone_in_batch(self, gz, batch):
+        cfg = get_model("GPT-5B")
+        grid = GridConfig(2, 1, gz, 1)
+        a = estimate_memory(cfg, grid, batch)
+        b = estimate_memory(cfg, grid, 2 * batch)
+        assert b.total > a.total
+        assert b.model_state == a.model_state  # state is batch-free
+
+    @given(
+        gx=st.sampled_from([1, 2, 4]),
+        gy=st.sampled_from([1, 2]),
+        gz=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_state_scales_inversely_with_tensor_degree(self, gx, gy, gz):
+        cfg = get_model("GPT-10B")
+        base = estimate_memory(cfg, GridConfig(1, 1, 1, 1), 4)
+        sharded = estimate_memory(cfg, GridConfig(gx, gy, gz, 1), max(4, gz))
+        expect = base.model_state / (gx * gy * gz)
+        assert sharded.model_state == pytest.approx(expect)
+
+    @given(batch=st.sampled_from([4, 8, 16]))
+    @settings(max_examples=10, deadline=None)
+    def test_checkpointing_never_increases_memory(self, batch):
+        cfg = get_model("GPT-5B")
+        grid = GridConfig(2, 2, 2, 1)
+        with_ck = estimate_memory(cfg, grid, batch, checkpointing=True)
+        without = estimate_memory(cfg, grid, batch, checkpointing=False)
+        assert with_ck.total <= without.total
+
+
+class TestPipelineProperties:
+    @given(
+        m=st.integers(1, 64),
+        s=st.integers(1, 16),
+        v=st.integers(1, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bubble_fraction_bounds_and_monotonicity(self, m, s, v):
+        f = bubble_fraction(m, s, v)
+        assert 0.0 <= f < 1.0
+        # More microbatches and more virtual stages both shrink it.
+        assert bubble_fraction(2 * m, s, v) <= f
+        assert bubble_fraction(m, s, v + 1) <= f
+        # One stage has no bubble.
+        assert bubble_fraction(m, 1, v) == 0.0

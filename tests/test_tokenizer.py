@@ -1,0 +1,164 @@
+"""Tests for the BPE tokenizer and the tokenized text corpus."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memorization import (
+    BPETokenizer,
+    ExperimentConfig,
+    TextCorpus,
+    make_wordlist,
+    run_experiment,
+    scale_ladder,
+)
+
+TRAIN_TEXTS = [
+    "the cat sat on the mat",
+    "the dog sat on the log",
+    "a cat and a dog and a log",
+    "the mat and the log sat",
+]
+
+
+class TestBPETraining:
+    def test_vocab_contains_alphabet_and_merges(self):
+        tok = BPETokenizer.train(TRAIN_TEXTS, vocab_size=40)
+        for ch in "catdogmlsn":
+            assert ch in tok.vocab
+        assert len(tok.merges) > 0
+        assert tok.vocab_size <= 40
+
+    def test_deterministic(self):
+        a = BPETokenizer.train(TRAIN_TEXTS, vocab_size=40)
+        b = BPETokenizer.train(TRAIN_TEXTS, vocab_size=40)
+        assert a.vocab == b.vocab
+        assert a.merges == b.merges
+
+    def test_frequent_words_become_single_tokens(self):
+        """'the' appears most; with enough budget it merges fully."""
+        tok = BPETokenizer.train(TRAIN_TEXTS, vocab_size=60)
+        ids = tok.encode("the")
+        assert len(ids) == 1
+
+    def test_merges_stop_at_singletons(self):
+        # A tiny corpus can't fill a huge budget; training must stop.
+        tok = BPETokenizer.train(["ab ab"], vocab_size=1000)
+        assert tok.vocab_size < 1000
+
+    def test_vocab_size_validation(self):
+        with pytest.raises(ValueError):
+            BPETokenizer.train(TRAIN_TEXTS, vocab_size=4)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        tok = BPETokenizer.train(TRAIN_TEXTS, vocab_size=50)
+        for text in TRAIN_TEXTS:
+            assert tok.decode(tok.encode(text)) == text
+
+    def test_unknown_characters_map_to_unk(self):
+        tok = BPETokenizer.train(TRAIN_TEXTS, vocab_size=40)
+        ids = tok.encode("xyzzy!")
+        assert tok.vocab[tok.unk_token] in ids
+
+    def test_compression(self):
+        """Merges make frequent text shorter than characters."""
+        tok = BPETokenizer.train(TRAIN_TEXTS, vocab_size=60)
+        tpw = tok.tokens_per_word(TRAIN_TEXTS)
+        chars_pw = sum(
+            len(w) + 1 for t in TRAIN_TEXTS for w in t.split()
+        ) / sum(len(t.split()) for t in TRAIN_TEXTS)
+        assert 1.0 <= tpw < chars_pw
+
+    def test_tokens_per_word_validation(self):
+        tok = BPETokenizer.train(TRAIN_TEXTS, vocab_size=40)
+        with pytest.raises(ValueError):
+            tok.tokens_per_word([""])
+
+    @given(st.lists(st.sampled_from(["cat", "dog", "mat", "the", "log"]), min_size=1, max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, words):
+        tok = BPETokenizer.train(TRAIN_TEXTS, vocab_size=50)
+        text = " ".join(words)
+        assert tok.decode(tok.encode(text)) == text
+
+
+class TestWordlist:
+    def test_fixed_and_distinct(self):
+        a = make_wordlist(50, seed=7)
+        b = make_wordlist(50, seed=7)
+        assert a == b
+        assert len(set(a)) == 50
+        assert all(w.isalpha() for w in a)
+
+
+class TestTextCorpus:
+    def test_documents_fixed_length_and_deterministic(self):
+        c = TextCorpus(doc_len=24, seed=0)
+        a = c.document(3)
+        b = c.document(3)
+        np.testing.assert_array_equal(a.tokens, b.tokens)
+        assert len(a) == 24
+        assert a.tokens.max() < c.vocab_size
+
+    def test_documents_distinct(self):
+        c = TextCorpus(doc_len=24, seed=0)
+        docs = c.documents(0, 8)
+        for i in range(len(docs)):
+            for j in range(i + 1, len(docs)):
+                assert not np.array_equal(docs[i].tokens, docs[j].tokens)
+
+    def test_article_text_is_words(self):
+        c = TextCorpus(doc_len=16, seed=1)
+        text = c.article_text(0)
+        assert all(w.isalpha() for w in text.split())
+
+    def test_tokens_decode_to_text_prefix(self):
+        """The document's tokens decode back to a prefix of the article."""
+        c = TextCorpus(doc_len=20, seed=2)
+        doc = c.document(5)
+        decoded = c.tokenizer.decode(list(doc.tokens))
+        # Token truncation can split the final word; all earlier words match.
+        original = c.article_text(5)
+        assert original.startswith(" ".join(decoded.split()[:-1]))
+
+    def test_background_batch_shape(self):
+        c = TextCorpus(doc_len=16, seed=0)
+        rng = np.random.default_rng(0)
+        assert c.background_batch(3, rng).shape == (3, 16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TextCorpus(doc_len=4)
+        with pytest.raises(ValueError):
+            TextCorpus(doc_len=16).document(-1)
+
+
+class TestTextModeExperiment:
+    def test_experiment_runs_on_text_corpus(self):
+        """The full memorization harness accepts the tokenized text
+        pipeline — the closest analogue of the paper's Wikipedia setup."""
+        corpus = TextCorpus(doc_len=32, seed=3, bpe_vocab=120)
+        cfg = scale_ladder(vocab_size=corpus.vocab_size)[0]
+        exp = ExperimentConfig(
+            vocab_size=corpus.vocab_size, docs_per_bucket=2,
+            pretrain_steps=15, warmup_steps=2,
+        )
+        r = run_experiment(cfg, exp, corpus=corpus)
+        assert set(r.exact_match) == {0, 1, 4, 6}
+
+    def test_doc_len_mismatch_rejected(self):
+        corpus = TextCorpus(doc_len=16, seed=0)
+        cfg = scale_ladder(vocab_size=corpus.vocab_size)[0]
+        with pytest.raises(ValueError):
+            run_experiment(cfg, ExperimentConfig(doc_len=32), corpus=corpus)
+
+    def test_vocab_mismatch_rejected(self):
+        corpus = TextCorpus(doc_len=32, seed=0, bpe_vocab=192)
+        cfg = scale_ladder(vocab_size=64)[0]  # smaller than the tokenizer
+        with pytest.raises(ValueError):
+            run_experiment(
+                cfg, ExperimentConfig(vocab_size=64), corpus=corpus
+            )

@@ -1,0 +1,107 @@
+"""Tests for the command-line tools."""
+
+import pytest
+
+from repro.tools import memory_report, plan
+
+
+class TestPlanCLI:
+    def test_plan_runs_and_prints_table(self, capsys):
+        rc = plan.main(["GPT-5B", "64", "frontier", "--top", "3", "--batch", "64"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "planning GPT-5B on 64" in out
+        assert "Gx=" in out
+        # Exactly 3 ranked rows.
+        rows = [l for l in out.splitlines() if l.strip().startswith(("1 ", "2 ", "3 ", "4 "))]
+        assert len(rows) == 3
+
+    def test_plan_infeasible_model(self, capsys):
+        rc = plan.main(["GPT-640B", "8", "perlmutter", "--batch", "8"])
+        assert rc == 1
+        assert "no feasible configuration" in capsys.readouterr().out
+
+    def test_plan_bad_model(self):
+        with pytest.raises(KeyError):
+            plan.main(["GPT-7B", "64", "frontier"])
+
+
+class TestMemoryReportCLI:
+    def test_fits(self, capsys):
+        rc = memory_report.main(
+            ["GPT-5B", "1,1,8,1", "frontier", "--batch", "8"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FITS" in out
+        assert "weights (bf16)" in out
+        assert "largest per-replica batch" in out
+
+    def test_does_not_fit(self, capsys):
+        rc = memory_report.main(["GPT-80B", "1,1,1,8", "perlmutter"])
+        assert rc == 1
+        assert "DOES NOT FIT" in capsys.readouterr().out
+
+    def test_no_checkpointing_flag(self, capsys):
+        memory_report.main(
+            ["GPT-5B", "1,1,8,1", "frontier", "--batch", "8", "--no-checkpointing"]
+        )
+        assert "checkpointing off" in capsys.readouterr().out
+
+    def test_bad_grid_string(self):
+        with pytest.raises(SystemExit):
+            memory_report.main(["GPT-5B", "1,2,3", "frontier"])
+
+
+class TestTraceViewCLI:
+    def test_renders_gantt_and_breakdown(self, capsys):
+        from repro.tools import trace_view
+
+        rc = trace_view.main(
+            ["GPT-5B", "2,1,4,2", "frontier", "--batch", "32", "--width", "40"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "compute" in out and "#" in out
+        assert "hidden comm" in out
+
+    def test_no_overlap_flag(self, capsys):
+        from repro.tools import trace_view
+
+        trace_view.main(
+            ["GPT-5B", "1,1,4,2", "frontier", "--batch", "16", "--no-overlap"]
+        )
+        assert "overlap OFF" in capsys.readouterr().out
+
+    def test_bad_grid(self):
+        from repro.tools import trace_view
+
+        with pytest.raises(SystemExit):
+            trace_view.main(["GPT-5B", "2,2", "frontier"])
+
+
+class TestApiDocsGenerator:
+    def test_generates_reference(self, tmp_path):
+        from repro.tools import gen_api_docs
+
+        out = tmp_path / "API.md"
+        rc = gen_api_docs.main([str(out)])
+        assert rc == 0
+        text = out.read_text()
+        assert "# API reference" in text
+        assert "## `repro.core`" in text
+        assert "`ParallelGPT`" in text
+        # Every listed package appears.
+        for name in gen_api_docs.PACKAGES:
+            assert f"## `{name}`" in text
+
+    def test_render_covers_all_exports(self):
+        import importlib
+
+        from repro.tools.gen_api_docs import PACKAGES, render
+
+        text = render()
+        for name in PACKAGES:
+            mod = importlib.import_module(name)
+            for sym in getattr(mod, "__all__", []):
+                assert f"`{sym}`" in text
