@@ -17,6 +17,12 @@ import pytest
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Every benchmark is a paper experiment, not a tier-1 test."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 def full_scale() -> bool:
     """Whether to run the most expensive experiment arms (REPRO_FULL=1)."""
     return os.environ.get("REPRO_FULL", "0") == "1"

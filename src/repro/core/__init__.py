@@ -21,7 +21,12 @@ from .data_parallel import (
     data_parallel_step,
     replicas_in_sync,
 )
-from .degenerate import DEGENERATE_SCHEMES, DegenerateScheme, make_degenerate_grid
+from .degenerate import (
+    DEGENERATE_SCHEMES,
+    DegenerateScheme,
+    check_scheme_trace,
+    make_degenerate_grid,
+)
 from .easy_api import ACTIVATIONS, ParallelMLP
 from .grid import Grid4D, GridConfig, enumerate_grid_configs
 from .parallel_layers import ParallelEmbedding, ParallelLayerNorm, ParallelLinear
@@ -78,6 +83,7 @@ __all__ = [
     "DEGENERATE_SCHEMES",
     "DegenerateScheme",
     "make_degenerate_grid",
+    "check_scheme_trace",
     "ParallelMLP",
     "ACTIVATIONS",
 ]

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..cluster import MachineSpec, Placement, get_machine
 from ..config import GPTConfig, get_model
-from ..runtime import CommTracer
+from ..runtime import CommTracer, Violation, assert_valid_schedule, validate_schedule
 from .grid import Grid4D, GridConfig
 from .parallel_transformer import ParallelGPT
 
@@ -39,6 +39,16 @@ class AxoNN:
         if isinstance(model_cfg, str):
             model_cfg = get_model(model_cfg)
         return ParallelGPT(self.grid, model_cfg, seed=seed)
+
+    def validate_schedule(self) -> list[Violation]:
+        """Run the SPMD schedule validator over everything traced so far."""
+        return validate_schedule(self.tracer)
+
+    def assert_clean_schedule(self) -> None:
+        """Raise :class:`~repro.runtime.ScheduleValidationError` on any
+        recorded schedule violation (desync, deadlock, split asymmetry,
+        unbalanced non-blocking handles)."""
+        assert_valid_schedule(self.tracer)
 
 
 def init(

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..nn.transformer import GPT
+from ..runtime import CommTracer
 from ..tensor import Tensor
 from ..tensor import functional as F
 
@@ -65,7 +66,13 @@ class PipelineGPT:
     last stage); this class orchestrates the microbatched schedule.
     """
 
-    def __init__(self, model: GPT, stage_plan, tracer: P2PTracer | None = None) -> None:
+    def __init__(
+        self,
+        model: GPT,
+        stage_plan,
+        tracer: P2PTracer | None = None,
+        comm_tracer: CommTracer | None = None,
+    ) -> None:
         from .partition import StagePlan
 
         if not isinstance(stage_plan, StagePlan):
@@ -78,6 +85,25 @@ class PipelineGPT:
         self.model = model
         self.plan = stage_plan
         self.tracer = tracer
+        # Validator-enabled mode: stage-boundary transfers additionally
+        # recorded as per-stage send/recv events (stage index == virtual
+        # rank) so the SPMD schedule validator can check p2p pairing.
+        self.comm_tracer = comm_tracer
+
+    def _record_p2p(
+        self, kind: str, src: int, dst: int, microbatch: int, arr: np.ndarray
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.record(P2PRecord(kind, src, dst, microbatch, arr.nbytes))
+        if self.comm_tracer is not None:
+            self.comm_tracer.record_p2p(
+                src,
+                dst,
+                arr.nbytes,
+                dtype=str(arr.dtype),
+                count=int(arr.size),
+                tag=f"pipeline.{kind}:mb{microbatch}",
+            )
 
     @property
     def num_stages(self) -> int:
@@ -141,12 +167,7 @@ class PipelineGPT:
                 if stage < self.num_stages - 1:
                     # p2p send: the activation leaves this stage's graph
                     # and re-enters the next as a fresh leaf.
-                    if self.tracer is not None:
-                        self.tracer.record(
-                            P2PRecord(
-                                "activation", stage, stage + 1, m, out.data.nbytes
-                            )
-                        )
+                    self._record_p2p("activation", stage, stage + 1, m, out.data)
                     nxt = Tensor(out.data, requires_grad=True)
                     boundary_pairs.append((out, nxt))
                     x = nxt
@@ -168,11 +189,6 @@ class PipelineGPT:
                 out, nxt = cuts[m][stage]
                 g = nxt.grad
                 assert g is not None, "boundary received no gradient"
-                if self.tracer is not None:
-                    self.tracer.record(
-                        P2PRecord(
-                            "gradient", stage + 1, stage, m, g.nbytes
-                        )
-                    )
+                self._record_p2p("gradient", stage + 1, stage, m, g)
                 out.backward(g)
         return total_loss / num_microbatches

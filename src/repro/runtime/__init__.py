@@ -10,12 +10,31 @@ from .collectives import (
 )
 from .nonblocking import Handle, iall_gather, iall_reduce, ireduce_scatter
 from .p2p import gather, scatter, send_recv
-from .process_group import CollectiveRecord, CommTracer, ProcessGroup
+from .process_group import CollectiveRecord, CommEvent, CommTracer, ProcessGroup
+from .validate import (
+    ScheduleValidationError,
+    ScheduleValidator,
+    Violation,
+    assert_valid_schedule,
+    dump_schedule,
+    normalized_schedule,
+    schedule_diff,
+    validate_schedule,
+)
 
 __all__ = [
     "ProcessGroup",
     "CollectiveRecord",
+    "CommEvent",
     "CommTracer",
+    "ScheduleValidator",
+    "ScheduleValidationError",
+    "Violation",
+    "validate_schedule",
+    "assert_valid_schedule",
+    "normalized_schedule",
+    "dump_schedule",
+    "schedule_diff",
     "all_reduce",
     "reduce_scatter",
     "all_gather",

@@ -63,11 +63,22 @@ def _trace(
     tracer: CommTracer | None,
     op: str,
     group: ProcessGroup,
-    nbytes: int,
+    sample: np.ndarray,
     tag: str,
+    root: int | None = None,
 ) -> None:
     if tracer is not None:
-        tracer.record(CollectiveRecord(op, group, nbytes, tag))
+        tracer.record(
+            CollectiveRecord(
+                op,
+                group,
+                sample.nbytes,
+                tag,
+                dtype=str(sample.dtype),
+                count=int(sample.size),
+                root=root,
+            )
+        )
 
 
 def _flatten_padded(
@@ -107,7 +118,7 @@ def reduce_scatter(
             f"reduce_scatter: leading dim {sample.shape[0]} not divisible "
             f"by group size {p}"
         )
-    _trace(tracer, "reduce_scatter", group, sample.nbytes, tag)
+    _trace(tracer, "reduce_scatter", group, sample, tag)
     if p == 1:
         return {r: buffers[r].copy() for r in group}
 
@@ -145,7 +156,7 @@ def all_gather(
     _check_buffers(buffers, group)
     p = group.size
     sample = buffers[group.ranks[0]]
-    _trace(tracer, "all_gather", group, sample.nbytes, tag)
+    _trace(tracer, "all_gather", group, sample, tag)
     if p == 1:
         return {r: buffers[r].copy() for r in group}
 
@@ -187,7 +198,7 @@ def all_reduce(
     _check_buffers(buffers, group)
     p = group.size
     sample = buffers[group.ranks[0]]
-    _trace(tracer, "all_reduce", group, sample.nbytes, tag)
+    _trace(tracer, "all_reduce", group, sample, tag)
     if p == 1:
         return {r: buffers[r].copy() for r in group}
 
@@ -213,7 +224,7 @@ def broadcast(
     _check_buffers(buffers, group)
     if root not in group:
         raise ValueError(f"root {root} not in group {group.ranks}")
-    _trace(tracer, "broadcast", group, buffers[root].nbytes, tag)
+    _trace(tracer, "broadcast", group, buffers[root], tag, root=root)
     src = buffers[root]
     return {r: src.copy() for r in group}
 
@@ -249,7 +260,12 @@ def all_to_all(
         nbytes = max(
             sum(c.nbytes for c in chunks[r]) for r in group
         )
-        tracer.record(CollectiveRecord("all_to_all", group, nbytes, tag))
+        splits = {
+            r: tuple(int(c.size) for c in chunks[r]) for r in group
+        }
+        dtypes = {str(c.dtype) for r in group for c in chunks[r]}
+        dtype = dtypes.pop() if len(dtypes) == 1 else ""
+        tracer.record_alltoall(group, splits, nbytes, dtype=dtype, tag=tag)
     out: dict[int, list[np.ndarray]] = {}
     for dst_pos, dst in enumerate(group.ranks):
         out[dst] = [

@@ -23,19 +23,44 @@ T = TypeVar("T")
 
 
 class Handle(Generic[T]):
-    """A pending collective result; call :meth:`wait` exactly once."""
+    """A pending collective result; call :meth:`wait` exactly once.
 
-    def __init__(self, result: T, op: str, tag: str = "") -> None:
+    When issued against a tracing runtime the handle carries an id
+    linking the per-rank ``issue:*`` events to the ``wait`` events it
+    records on completion, so the schedule validator can statically
+    check the waited-exactly-once discipline.
+    """
+
+    def __init__(
+        self,
+        result: T,
+        op: str,
+        tag: str = "",
+        tracer: CommTracer | None = None,
+        group: ProcessGroup | None = None,
+        handle_id: int | None = None,
+    ) -> None:
         self._result: T | None = result
         self.op = op
         self.tag = tag
         self._done = False
+        self._tracer = tracer
+        self._group = group
+        self.handle_id = handle_id
 
     def wait(self) -> T:
         """Complete the collective and return the per-rank results."""
         if self._done:
             raise RuntimeError(f"handle for {self.op!r} waited on twice")
         self._done = True
+        if (
+            self._tracer is not None
+            and self._group is not None
+            and self.handle_id is not None
+        ):
+            self._tracer.record_wait(
+                self._group, self.op, self.handle_id, self.tag
+            )
         result, self._result = self._result, None
         return result  # type: ignore[return-value]
 
@@ -56,7 +81,13 @@ def icoll(
 ) -> Handle[dict[int, np.ndarray]]:
     """Issue a collective asynchronously and return its handle."""
     result = fn(buffers, group, tracer=tracer, tag=tag, **kwargs)
-    return Handle(result, op_name, tag)
+    handle_id = None
+    if tracer is not None and tracer.enabled:
+        handle_id = tracer.next_handle_id()
+        tracer.record_issue(group, op_name, handle_id, tag)
+    return Handle(
+        result, op_name, tag, tracer=tracer, group=group, handle_id=handle_id
+    )
 
 
 def iall_reduce(

@@ -34,10 +34,13 @@ def send_recv(
     if src == dst:
         raise ValueError("send_recv requires distinct ranks")
     if tracer is not None:
-        tracer.record(
-            CollectiveRecord(
-                "p2p", ProcessGroup((src, dst)), buffer.nbytes, tag
-            )
+        tracer.record_p2p(
+            src,
+            dst,
+            buffer.nbytes,
+            dtype=str(buffer.dtype),
+            count=int(buffer.size),
+            tag=tag,
         )
     return np.array(buffer, copy=True)
 
@@ -63,7 +66,13 @@ def scatter(
     if tracer is not None:
         tracer.record(
             CollectiveRecord(
-                "scatter", group, int(sum(c.nbytes for c in chunks)), tag
+                "scatter",
+                group,
+                int(sum(c.nbytes for c in chunks)),
+                tag,
+                dtype=str(chunks[0].dtype),
+                count=int(sum(c.size for c in chunks)),
+                root=root,
             )
         )
     return {r: np.array(chunks[i], copy=True) for i, r in enumerate(group.ranks)}
@@ -94,6 +103,9 @@ def gather(
                 group,
                 int(sum(buffers[r].nbytes for r in group)),
                 tag,
+                dtype=str(buffers[root].dtype),
+                count=int(sum(buffers[r].size for r in group)),
+                root=root,
             )
         )
     return [np.array(buffers[r], copy=True) for r in group.ranks]

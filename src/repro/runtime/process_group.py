@@ -6,6 +6,14 @@ lives in per-rank dictionaries, and the **only** channel between ranks is
 a collective operation on a :class:`ProcessGroup`.  This discipline is
 what lets the test suite prove that the 4D parallel algorithm computes the
 same numbers a real distributed run would.
+
+Tracing happens at two granularities:
+
+* :class:`CollectiveRecord` — one record per collective *call* (the
+  historical volume/pattern API used by the perf cross-validation tests);
+* :class:`CommEvent` — one event per *participating rank*, forming the
+  per-rank schedules that :mod:`repro.runtime.validate` checks for SPMD
+  consistency (desync, deadlock, split symmetry, handle discipline).
 """
 
 from __future__ import annotations
@@ -13,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
-__all__ = ["ProcessGroup", "CollectiveRecord", "CommTracer"]
+__all__ = ["ProcessGroup", "CollectiveRecord", "CommEvent", "CommTracer"]
 
 
 @dataclass(frozen=True)
@@ -32,22 +40,30 @@ class ProcessGroup:
             raise ValueError("process group cannot be empty")
         if len(set(self.ranks)) != len(self.ranks):
             raise ValueError(f"duplicate ranks in group {self.ranks}")
+        # Cached rank -> position map: group_rank() runs once per rank per
+        # collective step on hot paths, and tuple.index() is O(n).  The
+        # cache is not a dataclass field, so eq/hash/repr still depend on
+        # ``ranks`` alone; object.__setattr__ is the sanctioned escape
+        # hatch for frozen-dataclass initialization.
+        object.__setattr__(
+            self, "_pos", {r: i for i, r in enumerate(self.ranks)}
+        )
 
     @property
     def size(self) -> int:
         return len(self.ranks)
 
     def group_rank(self, global_rank: int) -> int:
-        """Position of ``global_rank`` within this group."""
+        """Position of ``global_rank`` within this group (O(1), cached)."""
         try:
-            return self.ranks.index(global_rank)
-        except ValueError:
+            return self._pos[global_rank]
+        except KeyError:
             raise ValueError(
                 f"rank {global_rank} not in group {self.ranks}"
             ) from None
 
     def __contains__(self, global_rank: int) -> bool:
-        return global_rank in self.ranks
+        return global_rank in self._pos
 
     def __iter__(self) -> Iterator[int]:
         return iter(self.ranks)
@@ -62,33 +78,171 @@ class CollectiveRecord:
 
     ``bytes_per_rank`` is the size of each rank's *input* buffer in
     bytes; together with ``op`` and the group size this determines the
-    communication volume of the ring algorithm.
+    communication volume of the ring algorithm.  ``dtype``/``count``
+    (element type and per-rank element count) and ``root`` feed the
+    schedule validator; they default to empty for records constructed by
+    legacy call sites.
     """
 
-    op: str  # "all_reduce" | "reduce_scatter" | "all_gather" | "broadcast"
+    op: str  # "all_reduce" | "reduce_scatter" | "all_gather" | "broadcast" | ...
     group: ProcessGroup
     bytes_per_rank: int
     tag: str = ""
+    dtype: str = ""
+    count: int = 0
+    root: int | None = None
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One communication event in a single rank's program order.
+
+    The per-rank event streams are the input to
+    :class:`repro.runtime.validate.ScheduleValidator`.  ``group`` holds
+    the member ranks of the communicator (or ``(src, dst)`` for p2p).
+
+    Optional fields by op kind:
+
+    * ``peer`` — the other endpoint, for ``send``/``recv``;
+    * ``root`` — root rank, for ``broadcast``/``scatter``/``gather``;
+    * ``splits`` — per-destination element counts, for ``all_to_all``;
+    * ``handle_id`` — links non-blocking ``issue:*`` events to their
+      ``wait`` event.
+    """
+
+    rank: int
+    op: str
+    group: tuple[int, ...]
+    dtype: str = ""
+    count: int = 0
+    tag: str = ""
+    peer: int | None = None
+    root: int | None = None
+    splits: tuple[int, ...] | None = None
+    handle_id: int | None = None
 
 
 @dataclass
 class CommTracer:
-    """Accumulates :class:`CollectiveRecord`\\ s for pattern assertions.
+    """Accumulates collective records and per-rank event schedules.
 
     Tests use the trace to check, e.g., that the Megatron-degenerate
     configuration issues only X-group all-reduces, or that ZeRO-degenerate
-    issues all-gathers and reduce-scatters over the Z group.
+    issues all-gathers and reduce-scatters over the Z group.  The
+    per-rank ``events`` feed the static SPMD schedule validator and the
+    golden-trace regression harness.
     """
 
     records: list[CollectiveRecord] = field(default_factory=list)
+    events: list[CommEvent] = field(default_factory=list)
     enabled: bool = True
+    _next_handle: int = 0
 
     def record(self, rec: CollectiveRecord) -> None:
-        if self.enabled:
-            self.records.append(rec)
+        """Record one collective call and expand it to per-rank events."""
+        if not self.enabled:
+            return
+        self.records.append(rec)
+        for r in rec.group.ranks:
+            self.events.append(
+                CommEvent(
+                    rank=r,
+                    op=rec.op,
+                    group=rec.group.ranks,
+                    dtype=rec.dtype,
+                    count=rec.count,
+                    tag=rec.tag,
+                    root=rec.root,
+                )
+            )
+
+    def record_p2p(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        dtype: str = "",
+        count: int = 0,
+        tag: str = "",
+    ) -> None:
+        """Record a point-to-point transfer as a send + a recv event."""
+        if not self.enabled:
+            return
+        group = ProcessGroup((src, dst))
+        self.records.append(
+            CollectiveRecord("p2p", group, nbytes, tag, dtype, count)
+        )
+        self.events.append(
+            CommEvent(src, "send", group.ranks, dtype, count, tag, peer=dst)
+        )
+        self.events.append(
+            CommEvent(dst, "recv", group.ranks, dtype, count, tag, peer=src)
+        )
+
+    def record_alltoall(
+        self,
+        group: ProcessGroup,
+        splits: dict[int, tuple[int, ...]],
+        nbytes: int,
+        dtype: str = "",
+        tag: str = "",
+    ) -> None:
+        """Record an all-to-all with per-rank send splits (element counts
+        destined for each group position)."""
+        if not self.enabled:
+            return
+        self.records.append(
+            CollectiveRecord("all_to_all", group, nbytes, tag, dtype)
+        )
+        for r in group.ranks:
+            sp = splits[r]
+            self.events.append(
+                CommEvent(
+                    rank=r,
+                    op="all_to_all",
+                    group=group.ranks,
+                    dtype=dtype,
+                    count=int(sum(sp)),
+                    tag=tag,
+                    splits=tuple(int(s) for s in sp),
+                )
+            )
+
+    def next_handle_id(self) -> int:
+        """Allocate an id linking a non-blocking issue to its wait."""
+        hid = self._next_handle
+        self._next_handle += 1
+        return hid
+
+    def record_issue(
+        self, group: ProcessGroup, op: str, handle_id: int, tag: str = ""
+    ) -> None:
+        """Record the issue of a non-blocking collective on every rank."""
+        if not self.enabled:
+            return
+        for r in group.ranks:
+            self.events.append(
+                CommEvent(
+                    r, f"issue:{op}", group.ranks, tag=tag, handle_id=handle_id
+                )
+            )
+
+    def record_wait(
+        self, group: ProcessGroup, op: str, handle_id: int, tag: str = ""
+    ) -> None:
+        """Record the wait completing a non-blocking collective."""
+        if not self.enabled:
+            return
+        for r in group.ranks:
+            self.events.append(
+                CommEvent(
+                    r, "wait", group.ranks, tag=tag, handle_id=handle_id
+                )
+            )
 
     def clear(self) -> None:
         self.records.clear()
+        self.events.clear()
 
     def ops(self) -> list[str]:
         """The op names in issue order."""
@@ -104,3 +258,11 @@ class CommTracer:
 
     def by_tag(self, tag: str) -> list[CollectiveRecord]:
         return [r for r in self.records if r.tag == tag]
+
+    def events_for(self, rank: int) -> list[CommEvent]:
+        """The event stream of one rank, in its program order."""
+        return [e for e in self.events if e.rank == rank]
+
+    def event_ranks(self) -> list[int]:
+        """All ranks appearing in the event streams, sorted."""
+        return sorted({e.rank for e in self.events})

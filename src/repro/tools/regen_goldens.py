@@ -1,0 +1,144 @@
+"""Regenerate the golden collective-schedule traces.
+
+The golden traces under ``tests/golden/`` pin the exact per-rank
+communication schedule (op order, groups, dtypes, element counts, tags)
+of representative parallel configurations: full 4D, FSDP/ZeRO-degenerate,
+Megatron-1D-degenerate, the GPipe functional pipeline, and expert-parallel
+MoE.  The regression tests replay the same seeded programs and fail with
+a structural diff if the schedule drifts — an intentional change to the
+communication pattern must be accompanied by regenerated goldens:
+
+    python -m repro.tools.regen_goldens
+
+Every scenario is deterministic (fixed seeds, no wall-clock input), so a
+regenerated golden is byte-identical unless the schedule truly changed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..config import GPTConfig
+from ..core import Grid4D, GridConfig, ParallelGPT, make_degenerate_grid
+from ..moe import MoELayer
+from ..moe.expert_parallel import ExpertParallelMoE
+from ..pipeline import PipelineGPT, partition_layers
+from ..runtime import (
+    CommTracer,
+    ProcessGroup,
+    assert_valid_schedule,
+    dump_schedule,
+)
+from ..tensor import Tensor
+
+__all__ = ["GOLDEN_SCENARIOS", "build_schedule", "golden_dir", "regen_all"]
+
+
+def _tiny_cfg(num_layers: int = 1) -> GPTConfig:
+    return GPTConfig(
+        name="golden-tiny",
+        num_layers=num_layers,
+        hidden_size=24,
+        num_heads=4,
+        seq_len=10,
+        vocab_size=32,
+    )
+
+
+def _gpt_step(grid: Grid4D, batch: int) -> CommTracer:
+    """One seeded forward+backward of the tiny parallel GPT on ``grid``."""
+    assert grid.tracer is not None
+    cfg = _tiny_cfg()
+    model = ParallelGPT(grid, cfg, seed=0)
+    ids = np.random.default_rng(0).integers(0, cfg.vocab_size, (batch, 6))
+    model.loss(ids).backward()
+    return grid.tracer
+
+
+def _scenario_axonn_4d() -> CommTracer:
+    tracer = CommTracer()
+    grid = Grid4D(GridConfig(2, 2, 2, 1), tracer=tracer)
+    return _gpt_step(grid, batch=4)
+
+
+def _scenario_fsdp() -> CommTracer:
+    tracer = CommTracer()
+    grid = make_degenerate_grid("fsdp", 4, tracer=tracer)
+    return _gpt_step(grid, batch=4)
+
+
+def _scenario_megatron() -> CommTracer:
+    tracer = CommTracer()
+    grid = make_degenerate_grid("megatron", 2, tracer=tracer)
+    return _gpt_step(grid, batch=2)
+
+
+def _scenario_pipeline() -> CommTracer:
+    from ..nn import GPT
+
+    cfg = _tiny_cfg(num_layers=4)
+    model = GPT(cfg, seed=0)
+    tracer = CommTracer()
+    pipe = PipelineGPT(model, partition_layers(4, 3), comm_tracer=tracer)
+    ids = np.random.default_rng(0).integers(0, cfg.vocab_size, (4, 6))
+    pipe.loss(ids, num_microbatches=2)
+    return tracer
+
+
+def _scenario_moe() -> CommTracer:
+    rng = np.random.default_rng(0)
+    layer = MoELayer(8, 4, k=2, rng=rng)
+    group = ProcessGroup((0, 1))
+    tracer = CommTracer()
+    ep = ExpertParallelMoE(layer, group, tracer=tracer)
+    x_parts = {r: Tensor(rng.standard_normal((5, 8))) for r in group.ranks}
+    out_parts, aux = ep.forward(x_parts)
+    (sum(t.sum() for t in out_parts.values()) + aux).backward()
+    return tracer
+
+
+#: Scenario name -> zero-argument builder returning the recorded tracer.
+GOLDEN_SCENARIOS = {
+    "axonn_4d": _scenario_axonn_4d,
+    "fsdp": _scenario_fsdp,
+    "megatron": _scenario_megatron,
+    "pipeline": _scenario_pipeline,
+    "moe": _scenario_moe,
+}
+
+
+def golden_dir() -> Path:
+    """``tests/golden/`` relative to the repository root."""
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def build_schedule(name: str) -> str:
+    """Run one scenario and return its canonical schedule JSON.
+
+    The schedule is validated before serialization — a golden that would
+    not pass the validator is refused at generation time.
+    """
+    tracer = GOLDEN_SCENARIOS[name]()
+    assert_valid_schedule(tracer)
+    return dump_schedule(tracer)
+
+
+def regen_all(out_dir: Path | None = None, verbose: bool = True) -> list[Path]:
+    """Regenerate every golden trace file; returns the written paths."""
+    out_dir = golden_dir() if out_dir is None else Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in sorted(GOLDEN_SCENARIOS):
+        text = build_schedule(name)
+        path = out_dir / f"{name}.json"
+        path.write_text(text)
+        written.append(path)
+        if verbose:
+            print(f"wrote {path} ({len(text)} bytes)")
+    return written
+
+
+if __name__ == "__main__":
+    regen_all()

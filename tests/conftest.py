@@ -1,0 +1,16 @@
+"""Test-tier bookkeeping.
+
+Every test under ``tests/`` that is not explicitly marked ``slow`` is
+tier 1: the fast correctness suite run on every commit (and in CI via
+``pytest -m tier1``; since tier 1 is the default, a plain ``pytest``
+run is equivalent).  Benchmarks under ``benchmarks/`` are all ``slow``
+— see ``benchmarks/conftest.py``.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if item.get_closest_marker("slow") is None:
+            item.add_marker(pytest.mark.tier1)

@@ -49,6 +49,32 @@ class TestProcessGroup:
         with pytest.raises(ValueError):
             ProcessGroup((0, 1)).group_rank(5)
 
+    def test_rank_lookup_is_cached(self):
+        """group_rank is an O(1) dict lookup, not tuple.index."""
+        g = ProcessGroup(tuple(range(0, 64, 2)))
+        assert g._pos == {r: i for i, r in enumerate(g.ranks)}
+        for i, r in enumerate(g.ranks):
+            assert g.group_rank(r) == i
+
+    def test_cache_preserves_frozen_contract(self):
+        """The cached lookup map is a non-field attribute: equality,
+        hashing, repr, copies, and replace() behave as if it weren't
+        there, and the dataclass stays frozen."""
+        import copy
+        import dataclasses
+
+        a = ProcessGroup((3, 1, 4))
+        b = ProcessGroup((3, 1, 4))
+        assert a == b and hash(a) == hash(b)
+        assert "_pos" not in repr(a)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            a.ranks = (0,)
+
+        c = copy.deepcopy(a)
+        assert c == a and c.group_rank(4) == 2
+        d = dataclasses.replace(a, ranks=(5, 6))
+        assert d.group_rank(6) == 1 and d._pos == {5: 0, 6: 1}
+
 
 class TestAllReduce:
     @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8])

@@ -94,6 +94,12 @@ class TestDataParallel:
         data_parallel_step(models, opts, ids, tracer=tracer)
         assert all(r.op == "all_reduce" for r in tracer.records)
         assert len(tracer.records) == len(list(models[0].named_parameters()))
+        # Validation-enabled mode: the gradient all-reduce schedule is
+        # identical on every replica and passes all static SPMD checks.
+        from repro.runtime import validate_schedule
+
+        violations = validate_schedule(tracer)
+        assert violations == [], "\n".join(str(v) for v in violations)
 
     def test_batch_divisibility(self):
         models = [GPT(tiny_config(), seed=0) for _ in range(2)]

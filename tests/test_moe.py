@@ -219,6 +219,35 @@ class TestExpertParallel:
         ep.forward({0: Tensor(x[:4]), 1: Tensor(x[4:])})
         assert [r.tag for r in tr.records] == ["moe.dispatch", "moe.combine"]
         assert all(r.op == "all_to_all" for r in tr.records)
+        # Validation-enabled mode: the dispatch/combine split matrices
+        # must be transposed (tokens return home) and the schedule clean.
+        from repro.runtime import validate_schedule
+
+        violations = validate_schedule(tr)
+        assert violations == [], "\n".join(str(v) for v in violations)
+
+    def test_expert_parallel_schedule_validator_clean_4ranks(self):
+        from repro.runtime import validate_schedule
+
+        rng = np.random.default_rng(7)
+        layer = MoELayer(8, 8, hidden=16, k=2, rng=rng)
+        group = ProcessGroup((0, 1, 2, 3))
+        tr = CommTracer()
+        ep = ExpertParallelMoE(layer, group, tracer=tr)
+        x = tokens(t=16, seed=8)
+        parts = {
+            r: Tensor(x[4 * i : 4 * (i + 1)])
+            for i, r in enumerate(group.ranks)
+        }
+        outs, aux = ep.forward(parts)
+        total = outs[0].sum()
+        for r in group.ranks[1:]:
+            total = total + outs[r].sum()
+        (total + aux).backward()
+        splits = [e.splits for e in tr.events if e.tag == "moe.dispatch"]
+        assert len(splits) == 4 and all(len(s) == 4 for s in splits)
+        violations = validate_schedule(tr)
+        assert violations == [], "\n".join(str(v) for v in violations)
 
     def test_divisibility_validation(self):
         layer = MoELayer(8, 3, rng=np.random.default_rng(0))

@@ -90,6 +90,23 @@ class TestFunctionalPipeline:
             r.nbytes == expect for r in tracer.records
         )
 
+    def test_p2p_schedule_is_validator_clean(self):
+        """Validation-enabled mode: the stage-boundary send/recv schedule
+        passes the SPMD validator (pairing, sizes, no deadlock cycle)."""
+        from repro.runtime import CommTracer, validate_schedule
+
+        cfg = tiny_config(layers=4)
+        model = GPT(cfg, seed=0)
+        comm = CommTracer()
+        pipe = PipelineGPT(model, partition_layers(4, 4), comm_tracer=comm)
+        ids = np.random.default_rng(1).integers(0, cfg.vocab_size, (4, 8))
+        pipe.loss(ids, num_microbatches=2)
+        # 2 microbatches * 3 boundaries, activations + gradients, each a
+        # send event and a recv event.
+        assert len(comm.events) == 2 * (2 * 3) * 2
+        violations = validate_schedule(comm)
+        assert violations == [], "\n".join(str(v) for v in violations)
+
     def test_training_step_equivalence(self):
         """One SGD step through the pipeline == one serial step."""
         cfg = tiny_config(layers=2)

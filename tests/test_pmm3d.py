@@ -175,12 +175,19 @@ def test_z_sharding_reduces_weight_memory():
 )
 @settings(max_examples=30, deadline=None)
 def test_pmm3d_property(gx, gy, gz, mm, kk, nn, transposed, seed):
+    """Numerics match serial AND the recorded collective schedule passes
+    every static SPMD check, for every sampled grid shape."""
+    from repro.runtime import validate_schedule
+
     m = mm * gz
     k = kk * gx * gy * gz * 2
     n = nn * gx * gy
+    tracer = CommTracer()
     (O, dI, dW), (O_ref, dI_ref, dW_ref) = run_pmm(
-        gx, gy, gz, m, k, n, transposed=transposed, seed=seed
+        gx, gy, gz, m, k, n, transposed=transposed, seed=seed, tracer=tracer
     )
     np.testing.assert_allclose(O, O_ref, rtol=1e-9, atol=1e-9)
     np.testing.assert_allclose(dI, dI_ref, rtol=1e-9, atol=1e-9)
     np.testing.assert_allclose(dW, dW_ref, rtol=1e-9, atol=1e-9)
+    violations = validate_schedule(tracer)
+    assert violations == [], "\n".join(str(v) for v in violations)
