@@ -4,7 +4,7 @@ During the first batch, AxoNN executes every matmul in all three modes
 (NN, NT, TN), times them, and locks in the fastest for the rest of
 training.  Running a product in a non-default mode requires physically
 transposing an operand copy, whose (memory-bound) cost is charged as a
-fixed fraction of the NN time; the paper's headline case — GPT-320B's
+fixed fraction of the default-mode time; the paper's headline case — GPT-320B's
 TN weight-gradient GEMM switched to an ~8x faster NN kernel, cutting
 compute from 30.1 s to 13.19 s per batch — falls out of the rocBLAS TN
 pathology encoded in :class:`~repro.kernels.gemm.GemmModel`.
@@ -19,8 +19,8 @@ from .gemm import MODES, GemmMode, GemmModel
 __all__ = ["MatmulOp", "TunedPlan", "tune_matmuls"]
 
 #: Cost of re-laying-out an operand to use a non-default mode, as a
-#: fraction of that shape's NN GEMM time (transposes are memory-bound
-#: and cheap next to large GEMMs).
+#: fraction of that shape's default-mode GEMM time (transposes are
+#: memory-bound and cheap next to large GEMMs).
 TRANSPOSE_OVERHEAD = 0.05
 
 #: Minimum relative improvement required to leave the default mode —
@@ -81,12 +81,16 @@ def tune_matmuls(ops: list[MatmulOp], gemm: GemmModel) -> TunedPlan:
             raise ValueError(f"duplicate matmul name {op.name!r}")
         seen.add(op.name)
         default_t = gemm.time(op.m, op.k, op.n, op.default_mode)
-        nn_time = gemm.time(op.m, op.k, op.n, "NN")
         best_mode, best_t = op.default_mode, default_t
         for mode in MODES:
             t = gemm.time(op.m, op.k, op.n, mode)
             if mode != op.default_mode:
-                t += TRANSPOSE_OVERHEAD * nn_time
+                # Relayout cost is charged relative to the *default* mode
+                # (the time the op would otherwise take), matching the
+                # SWITCH_THRESHOLD guard below: for TN/NT-default ops the
+                # old NN-relative charge understated the overhead exactly
+                # when the NN kernel was the attractive escape hatch.
+                t += TRANSPOSE_OVERHEAD * default_t
             if t < best_t and t < default_t * (1.0 - SWITCH_THRESHOLD):
                 best_mode, best_t = mode, t
         plan.choices[op.name] = best_mode

@@ -18,12 +18,16 @@ without the master copies, updates smaller than a bf16 ulp would vanish
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
 import numpy as np
 
 from ..tensor.dtype import to_bf16
 from .optim import clip_grad_norm
 
-__all__ = ["MixedPrecisionTrainer"]
+__all__ = ["MixedPrecisionTrainer", "RecoveryReport", "train_with_recovery"]
 
 
 class MixedPrecisionTrainer:
@@ -138,3 +142,110 @@ class MixedPrecisionTrainer:
             )
             losses.append(self.micro_step(ids[i * mb : (i + 1) * mb], mask))
         return float(np.mean(losses))
+
+
+# -- checkpoint-restart recovery ------------------------------------------------
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`train_with_recovery` did: one loss per *completed*
+    step (restart rollbacks truncate the list, so the final sequence is
+    exactly what an uninterrupted run would have produced), plus restart
+    accounting for the tests and the goodput analysis."""
+
+    losses: list[float] = field(default_factory=list)
+    #: Successful restarts (fault caught, state reloaded, training resumed).
+    restarts: int = 0
+    #: Checkpoints written (including the step-0 checkpoint).
+    checkpoint_saves: int = 0
+    #: The step each restart rolled back to, in order.
+    resumed_from: list[int] = field(default_factory=list)
+    #: Steps re-executed because they post-dated the surviving checkpoint.
+    steps_lost: int = 0
+
+    @property
+    def steps(self) -> int:
+        return len(self.losses)
+
+
+def _split_batch(batch) -> tuple[np.ndarray, np.ndarray | None]:
+    if isinstance(batch, tuple):
+        ids, mask = batch
+        return np.asarray(ids), (None if mask is None else np.asarray(mask))
+    return np.asarray(batch), None
+
+
+def train_with_recovery(
+    trainer_factory: Callable[[], MixedPrecisionTrainer],
+    batches: Sequence,
+    checkpoint_path: str | Path,
+    checkpoint_interval: int = 1,
+    injector=None,
+    max_restarts: int = 3,
+) -> RecoveryReport:
+    """Run a training loop that survives injected failures.
+
+    ``trainer_factory`` must build a *fresh* trainer (model + optimizer
+    in the same layout every call) — this models re-forming the GPU grid
+    with a replacement node after a failure.  ``batches`` is indexed by
+    step, so the post-restart replay sees byte-identical data.  Every
+    ``checkpoint_interval`` completed steps the full training state
+    (fp32 masters + Adam moments + step count) is written with
+    :func:`repro.core.checkpoint_io.save_training_state`; a step-0
+    checkpoint is written up front so even a first-step failure is
+    recoverable.
+
+    On a :class:`~repro.runtime.faults.FaultError` (killed rank, message
+    dropped/delayed past the retry budget) the partially-updated trainer
+    is *discarded* — a fault can strike mid-accumulation, leaving
+    gradients half-summed — a new one is built, the last checkpoint is
+    reloaded, ``injector.restart()`` re-forms the grid (dead ranks
+    replaced, fired faults stay fired), and the loop rewinds to the
+    checkpointed step.  Because the checkpoint is bit-exact and the
+    replayed batches identical, the recovered run's losses are bitwise
+    equal to an uninterrupted run's (the property the recovery tests
+    pin).
+
+    After ``max_restarts`` restarts the next fault propagates to the
+    caller.
+    """
+    # Local import: repro.core imports repro.nn at module load, so a
+    # top-level import here would be circular.
+    from ..core.checkpoint_io import load_training_state, save_training_state
+    from ..runtime.faults import FaultError, fault_scope
+
+    if checkpoint_interval < 1:
+        raise ValueError("checkpoint_interval must be >= 1")
+    trainer = trainer_factory()
+    report = RecoveryReport()
+    save_training_state(trainer.model, trainer.optimizer, checkpoint_path)
+    report.checkpoint_saves += 1
+    last_saved = 0
+    step = 0
+    while step < len(batches):
+        if injector is not None:
+            injector.start_step(step)
+        ids, mask = _split_batch(batches[step])
+        try:
+            with fault_scope(injector):
+                loss = trainer.step(ids, loss_mask=mask)
+        except FaultError:
+            if injector is None or report.restarts >= max_restarts:
+                raise
+            report.restarts += 1
+            report.resumed_from.append(last_saved)
+            report.steps_lost += step - last_saved
+            injector.restart()
+            trainer = trainer_factory()
+            load_training_state(trainer.model, trainer.optimizer, checkpoint_path)
+            del report.losses[last_saved:]
+            step = last_saved
+            continue
+        report.losses.append(loss)
+        step += 1
+        if step % checkpoint_interval == 0:
+            save_training_state(trainer.model, trainer.optimizer, checkpoint_path)
+            report.checkpoint_saves += 1
+            last_saved = step
+    return report

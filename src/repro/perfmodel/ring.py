@@ -21,11 +21,17 @@ __all__ = [
 ]
 
 
-def _check(p: int, beta: float) -> None:
+def _check(p: int, beta: float, nbytes: float) -> None:
     if p < 1:
         raise ValueError(f"group size must be >= 1, got {p}")
     if beta <= 0:
         raise ValueError(f"bandwidth must be positive, got {beta}")
+    # NaN fails every comparison, so test for the valid range and negate:
+    # a silent NaN here would poison every downstream schedule estimate.
+    if not nbytes >= 0:
+        raise ValueError(f"byte count must be finite and >= 0, got {nbytes}")
+    if nbytes == float("inf"):
+        raise ValueError("byte count must be finite, got inf")
 
 
 def all_gather_time(
@@ -33,7 +39,7 @@ def all_gather_time(
 ) -> float:
     """Ring all-gather of ``p`` shards of ``shard_bytes`` each:
     ``(p-1) * shard / beta``  (+ ``(p-1) * alpha``)."""
-    _check(p, beta)
+    _check(p, beta, shard_bytes)
     if p == 1:
         return 0.0
     return (p - 1) * (shard_bytes / beta + alpha)
@@ -44,7 +50,7 @@ def reduce_scatter_time(
 ) -> float:
     """Ring reduce-scatter of a ``buffer_bytes`` input per rank:
     ``(p-1)/p * buffer / beta``  (+ ``(p-1) * alpha``)."""
-    _check(p, beta)
+    _check(p, beta, buffer_bytes)
     if p == 1:
         return 0.0
     return (p - 1) / p * buffer_bytes / beta + (p - 1) * alpha
@@ -55,7 +61,7 @@ def all_reduce_time(
 ) -> float:
     """Ring all-reduce (reduce-scatter + all-gather):
     ``2 * (p-1)/p * buffer / beta``  (+ ``2 * (p-1) * alpha``)."""
-    _check(p, beta)
+    _check(p, beta, buffer_bytes)
     if p == 1:
         return 0.0
     return 2 * (p - 1) / p * buffer_bytes / beta + 2 * (p - 1) * alpha
@@ -64,8 +70,17 @@ def all_reduce_time(
 def broadcast_time(
     buffer_bytes: float, p: int, beta: float, alpha: float = 0.0
 ) -> float:
-    """Pipelined ring broadcast: ~ ``buffer / beta`` for large messages."""
-    _check(p, beta)
+    """Scatter–allgather broadcast (Thakur & Gropp; van de Geijn):
+    ``2 * (p-1)/p * buffer / beta``  (+ ``2 * (p-1) * alpha``).
+
+    The root scatters ``1/p`` of the buffer to each rank (a ring of
+    ``p-1`` shard-sized sends), then a ring all-gather reassembles it —
+    the large-message algorithm NCCL/MPI actually select.  This function
+    used to return the idealized ``buffer / beta`` pipeline bound, which
+    under-counts the bandwidth term by up to 2x (each byte crosses two
+    phases) and half the startup terms.
+    """
+    _check(p, beta, buffer_bytes)
     if p == 1:
         return 0.0
-    return buffer_bytes / beta + (p - 1) * alpha
+    return 2 * (p - 1) / p * buffer_bytes / beta + 2 * (p - 1) * alpha

@@ -25,6 +25,7 @@ from typing import Callable, Mapping
 import numpy as np
 
 from .process_group import CollectiveRecord, CommTracer, ProcessGroup
+from . import faults as _faults
 
 __all__ = [
     "all_reduce",
@@ -81,6 +82,33 @@ def _trace(
         )
 
 
+#: Sentinel suppressing injection for *internal* sub-collectives (the
+#: reduce-scatter/all-gather inside all_reduce): the composite operation
+#: is the user-visible fault site, and must consult the injector once.
+_DISABLED = object()
+
+
+def _inject(
+    op: str,
+    group: ProcessGroup,
+    buffers: Mapping[int, np.ndarray],
+    tag: str,
+    tracer: CommTracer | None,
+    injector,
+) -> Mapping[int, np.ndarray]:
+    """Consult the explicit or ambient fault injector, if any.
+
+    May raise :class:`~repro.runtime.faults.RankFailure` (a group member
+    is dead) or return buffers with one rank's payload bit-flipped.
+    """
+    if injector is _DISABLED:
+        return buffers
+    inj = injector if injector is not None else _faults.get_active_injector()
+    if inj is None:
+        return buffers
+    return inj.before_collective(op, group, buffers, tag, tracer=tracer)
+
+
 def _flatten_padded(
     buffers: Mapping[int, np.ndarray], group: ProcessGroup, p: int
 ) -> tuple[dict[int, np.ndarray], int]:
@@ -102,6 +130,7 @@ def reduce_scatter(
     op: str = "sum",
     tracer: CommTracer | None = None,
     tag: str = "",
+    injector=None,
 ) -> dict[int, np.ndarray]:
     """Ring reduce-scatter.
 
@@ -110,6 +139,7 @@ def reduce_scatter(
     ``g`` receives the fully reduced ``g``-th shard (split along axis 0).
     """
     _check_buffers(buffers, group)
+    buffers = _inject("reduce_scatter", group, buffers, tag, tracer, injector)
     p = group.size
     reduce_fn = REDUCE_OPS[op]
     sample = buffers[group.ranks[0]]
@@ -147,6 +177,7 @@ def all_gather(
     group: ProcessGroup,
     tracer: CommTracer | None = None,
     tag: str = "",
+    injector=None,
 ) -> dict[int, np.ndarray]:
     """Ring all-gather.
 
@@ -154,6 +185,7 @@ def all_gather(
     group members concatenated along axis 0 in group order.
     """
     _check_buffers(buffers, group)
+    buffers = _inject("all_gather", group, buffers, tag, tracer, injector)
     p = group.size
     sample = buffers[group.ranks[0]]
     _trace(tracer, "all_gather", group, sample, tag)
@@ -188,6 +220,7 @@ def all_reduce(
     op: str = "sum",
     tracer: CommTracer | None = None,
     tag: str = "",
+    injector=None,
 ) -> dict[int, np.ndarray]:
     """Ring all-reduce (reduce-scatter + all-gather).
 
@@ -196,6 +229,7 @@ def all_reduce(
     constraint applies.
     """
     _check_buffers(buffers, group)
+    buffers = _inject("all_reduce", group, buffers, tag, tracer, injector)
     p = group.size
     sample = buffers[group.ranks[0]]
     _trace(tracer, "all_reduce", group, sample, tag)
@@ -203,8 +237,8 @@ def all_reduce(
         return {r: buffers[r].copy() for r in group}
 
     flat, n = _flatten_padded(buffers, group, p)
-    scattered = reduce_scatter(flat, group, op=op)
-    gathered = all_gather(scattered, group)
+    scattered = reduce_scatter(flat, group, op=op, injector=_DISABLED)
+    gathered = all_gather(scattered, group, injector=_DISABLED)
     return {
         r: gathered[r][:n].reshape(sample.shape) for r in group
     }
@@ -216,6 +250,7 @@ def broadcast(
     root: int,
     tracer: CommTracer | None = None,
     tag: str = "",
+    injector=None,
 ) -> dict[int, np.ndarray]:
     """Broadcast ``root``'s buffer to every rank in the group.
 
@@ -224,6 +259,7 @@ def broadcast(
     _check_buffers(buffers, group)
     if root not in group:
         raise ValueError(f"root {root} not in group {group.ranks}")
+    buffers = _inject("broadcast", group, buffers, tag, tracer, injector)
     _trace(tracer, "broadcast", group, buffers[root], tag, root=root)
     src = buffers[root]
     return {r: src.copy() for r in group}
@@ -234,6 +270,7 @@ def all_to_all(
     group: ProcessGroup,
     tracer: CommTracer | None = None,
     tag: str = "",
+    injector=None,
 ) -> dict[int, list[np.ndarray]]:
     """All-to-all personalized exchange (MPI_Alltoallv semantics).
 
@@ -256,6 +293,10 @@ def all_to_all(
                 f"rank {r} supplied {len(chunks[r])} chunks for a group "
                 f"of {p}"
             )
+    if injector is not _DISABLED:
+        inj = injector if injector is not None else _faults.get_active_injector()
+        if inj is not None:
+            inj.check_kills("all_to_all", group.ranks, tracer)
     if tracer is not None:
         nbytes = max(
             sum(c.nbytes for c in chunks[r]) for r in group

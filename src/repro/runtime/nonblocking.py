@@ -16,6 +16,7 @@ import numpy as np
 
 from .process_group import CommTracer, ProcessGroup
 from . import collectives as _coll
+from . import faults as _faults
 
 __all__ = ["Handle", "icoll", "iall_reduce", "ireduce_scatter", "iall_gather"]
 
@@ -49,9 +50,19 @@ class Handle(Generic[T]):
         self.handle_id = handle_id
 
     def wait(self) -> T:
-        """Complete the collective and return the per-rank results."""
+        """Complete the collective and return the per-rank results.
+
+        Under fault injection this is a blocking wait: a ``delay_wait``
+        fault runs the injector's timeout/retry/backoff loop and raises
+        :class:`~repro.runtime.faults.CommTimeoutError` when the delay
+        exceeds the retry budget; a killed group member raises
+        :class:`~repro.runtime.faults.RankFailure`.
+        """
         if self._done:
             raise RuntimeError(f"handle for {self.op!r} waited on twice")
+        inj = _faults.get_active_injector()
+        if inj is not None and self._group is not None:
+            inj.before_wait(self.op, self._group, self.tag)
         self._done = True
         if (
             self._tracer is not None

@@ -15,6 +15,7 @@ from typing import Mapping
 import numpy as np
 
 from .process_group import CollectiveRecord, CommTracer, ProcessGroup
+from . import faults as _faults
 
 __all__ = ["send_recv", "scatter", "gather"]
 
@@ -25,14 +26,22 @@ def send_recv(
     dst: int,
     tracer: CommTracer | None = None,
     tag: str = "",
+    injector=None,
 ) -> np.ndarray:
     """Transfer ``buffer`` from rank ``src`` to rank ``dst``.
 
     Returns the array as received at ``dst`` (a copy — the destination
-    owns its memory, as after MPI_Recv).
+    owns its memory, as after MPI_Recv).  Under fault injection the
+    blocking receive runs the injector's timeout/retry/backoff loop: a
+    dropped message (or one delayed past the retry budget) raises
+    :class:`~repro.runtime.faults.CommTimeoutError`, a dead endpoint
+    raises :class:`~repro.runtime.faults.RankFailure`.
     """
     if src == dst:
         raise ValueError("send_recv requires distinct ranks")
+    inj = injector if injector is not None else _faults.get_active_injector()
+    if inj is not None:
+        buffer = inj.before_p2p(src, dst, buffer, tag, tracer=tracer)
     if tracer is not None:
         tracer.record_p2p(
             src,
@@ -63,6 +72,9 @@ def scatter(
         raise ValueError(
             f"{len(chunks)} chunks for a group of {group.size}"
         )
+    inj = _faults.get_active_injector()
+    if inj is not None:
+        inj.check_kills("scatter", group.ranks, tracer)
     if tracer is not None:
         tracer.record(
             CollectiveRecord(
@@ -96,6 +108,9 @@ def gather(
             f"buffers keyed by {sorted(buffers)} do not match group "
             f"{sorted(group.ranks)}"
         )
+    inj = _faults.get_active_injector()
+    if inj is not None:
+        inj.check_kills("gather", group.ranks, tracer)
     if tracer is not None:
         tracer.record(
             CollectiveRecord(

@@ -136,14 +136,27 @@ class CommTracer:
     records: list[CollectiveRecord] = field(default_factory=list)
     events: list[CommEvent] = field(default_factory=list)
     enabled: bool = True
+    #: Ranks that fail-stopped: a dead rank records no further events —
+    #: the same silence a crashed peer produces in a real job, and the
+    #: footprint the schedule validator attributes back to it.
+    dead_ranks: set[int] = field(default_factory=set)
     _next_handle: int = 0
+
+    def mark_dead(self, rank: int) -> None:
+        """Stop recording events for ``rank`` (fail-stop semantics)."""
+        self.dead_ranks.add(rank)
+
+    def _live(self, ranks) -> list[int]:
+        if not self.dead_ranks:
+            return list(ranks)
+        return [r for r in ranks if r not in self.dead_ranks]
 
     def record(self, rec: CollectiveRecord) -> None:
         """Record one collective call and expand it to per-rank events."""
         if not self.enabled:
             return
         self.records.append(rec)
-        for r in rec.group.ranks:
+        for r in self._live(rec.group.ranks):
             self.events.append(
                 CommEvent(
                     rank=r,
@@ -164,20 +177,28 @@ class CommTracer:
         dtype: str = "",
         count: int = 0,
         tag: str = "",
+        dropped: bool = False,
     ) -> None:
-        """Record a point-to-point transfer as a send + a recv event."""
+        """Record a point-to-point transfer as a send + a recv event.
+
+        With ``dropped=True`` only the send is recorded: the message
+        left the sender but never reached the receiver, leaving exactly
+        the unmatched-send footprint the validator flags as a hang.
+        """
         if not self.enabled:
             return
         group = ProcessGroup((src, dst))
         self.records.append(
             CollectiveRecord("p2p", group, nbytes, tag, dtype, count)
         )
-        self.events.append(
-            CommEvent(src, "send", group.ranks, dtype, count, tag, peer=dst)
-        )
-        self.events.append(
-            CommEvent(dst, "recv", group.ranks, dtype, count, tag, peer=src)
-        )
+        if src not in self.dead_ranks:
+            self.events.append(
+                CommEvent(src, "send", group.ranks, dtype, count, tag, peer=dst)
+            )
+        if not dropped and dst not in self.dead_ranks:
+            self.events.append(
+                CommEvent(dst, "recv", group.ranks, dtype, count, tag, peer=src)
+            )
 
     def record_alltoall(
         self,
@@ -194,7 +215,7 @@ class CommTracer:
         self.records.append(
             CollectiveRecord("all_to_all", group, nbytes, tag, dtype)
         )
-        for r in group.ranks:
+        for r in self._live(group.ranks):
             sp = splits[r]
             self.events.append(
                 CommEvent(
@@ -220,7 +241,7 @@ class CommTracer:
         """Record the issue of a non-blocking collective on every rank."""
         if not self.enabled:
             return
-        for r in group.ranks:
+        for r in self._live(group.ranks):
             self.events.append(
                 CommEvent(
                     r, f"issue:{op}", group.ranks, tag=tag, handle_id=handle_id
@@ -233,7 +254,7 @@ class CommTracer:
         """Record the wait completing a non-blocking collective."""
         if not self.enabled:
             return
-        for r in group.ranks:
+        for r in self._live(group.ranks):
             self.events.append(
                 CommEvent(
                     r, "wait", group.ranks, tag=tag, handle_id=handle_id

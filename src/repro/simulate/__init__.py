@@ -6,6 +6,16 @@ from .executor import (
     baseline_config,
     simulate_iteration,
 )
+from .failures import (
+    FailureModel,
+    RunOutcome,
+    checkpoint_time,
+    expected_goodput,
+    goodput_curve,
+    optimal_checkpoint_interval,
+    simulate_run,
+    young_daly_interval,
+)
 from .memory import MemoryBreakdown, estimate_memory, max_batch_per_replica
 from .metrics import (
     RunMetrics,
@@ -36,6 +46,14 @@ __all__ = [
     "IterationResult",
     "simulate_iteration",
     "baseline_config",
+    "FailureModel",
+    "RunOutcome",
+    "checkpoint_time",
+    "expected_goodput",
+    "goodput_curve",
+    "optimal_checkpoint_interval",
+    "simulate_run",
+    "young_daly_interval",
     "MemoryBreakdown",
     "estimate_memory",
     "max_batch_per_replica",

@@ -189,6 +189,8 @@ def simulate_iteration(
     trace=None,
     run_salt: int = 0,
     placement_strategy: str = "block",
+    compute_slowdown: float = 1.0,
+    comm_slowdown: float = 1.0,
 ) -> IterationResult:
     """Simulate one training iteration and return its timing breakdown.
 
@@ -198,11 +200,17 @@ def simulate_iteration(
     repeated submissions of the same job (Section VI-B's run-to-run
     variability).  ``placement_strategy`` selects the rank -> device
     mapping (see :class:`repro.cluster.Placement`).
+    ``compute_slowdown``/``comm_slowdown`` (>= 1) stretch the compute
+    and communication streams respectively — a straggler node throttled
+    on clocks or sharing a congested switch slows *every* rank in the
+    SPMD program to its pace (see :mod:`repro.simulate.failures`).
     """
     if global_batch % config.gdata:
         raise ValueError(
             f"global batch {global_batch} not divisible by G_data {config.gdata}"
         )
+    if compute_slowdown < 1.0 or comm_slowdown < 1.0:
+        raise ValueError("slowdown factors must be >= 1")
     placement = Placement(machine, config.total, strategy=placement_strategy)
     grid = Grid4D(config, placement=placement)
     timings = group_timings(grid, placement)
@@ -228,12 +236,16 @@ def simulate_iteration(
         tuned_speedup = plan.speedup
 
     def op_time(name: str) -> float:
-        return plan.tuned_times[name] if kernel_tuning else plan.default_times[name]
+        base = plan.tuned_times[name] if kernel_tuning else plan.default_times[name]
+        return base * compute_slowdown
 
     attn_fwd = _attention_compute(cfg, config, batch_per_group, gemm)
+    attn_fwd *= compute_slowdown
     elementwise, optimizer_time = _memory_bound_overheads(
         cfg, config, batch_per_group, machine
     )
+    elementwise *= compute_slowdown
+    optimizer_time *= compute_slowdown
     for idx, layer in enumerate(layers):
         fc = op_time(f"{layer.name}.fwd") + elementwise
         # The attention core runs after the QKV projection of each block.
@@ -246,7 +258,13 @@ def simulate_iteration(
             bc += 2.0 * attn_fwd  # attention backward ~ 2x forward
         fwd_c.append(fc)
         bwd_c.append(bc)
-        colls.append(_collective_times(layer, config, timings))
+        c = _collective_times(layer, config, timings)
+        if comm_slowdown != 1.0:
+            c = {
+                k: v * comm_slowdown if k != "dp_shard_bytes" else v
+                for k, v in c.items()
+            }
+        colls.append(c)
 
     # --- multi-stream timeline ------------------------------------------
     # One compute stream plus one communication stream per communicator
@@ -332,7 +350,9 @@ def simulate_iteration(
     t = max(comp_t, *comm.values())
     td = timings["data"]
     dp_bytes = sum(c["dp_shard_bytes"] for c in colls)
-    dp_time = all_reduce_time(dp_bytes, config.gdata, td.bandwidth, td.latency)
+    dp_time = comm_slowdown * all_reduce_time(
+        dp_bytes, config.gdata, td.bandwidth, td.latency
+    )
     if dp_time > 0:
         emit("comm.data", "grad.AR_data", t, t + dp_time)
     emit("compute", "optimizer.step", t + dp_time, t + dp_time + optimizer_time)

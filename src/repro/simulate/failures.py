@@ -1,0 +1,298 @@
+"""Failure modeling: MTBF, stragglers, checkpoint cost, goodput.
+
+At the scale the paper targets (hundreds to thousands of nodes on
+Perlmutter/Frontier/Alps), hardware failures stop being rare events:
+with a per-node MTBF of a few years, a 1024-node job sees a failure
+every few hours, and every failure rolls the job back to its last
+checkpoint.  This module quantifies that tax on top of the
+per-iteration simulator:
+
+* :class:`FailureModel` — per-node MTBF, restart cost, straggler
+  frequency/severity, and filesystem bandwidth for checkpoint I/O;
+* :func:`checkpoint_time` — time to write (or read back) the full
+  training state (16 bytes/parameter) through the machine's injection
+  bandwidth and the shared filesystem;
+* :func:`expected_goodput` — the classical renewal-theory expectation
+  for exponential failures: checkpointing every ``tau`` seconds costs
+  ``E[T] = e^{lambda R} (e^{lambda (tau + C)} - 1) / lambda`` wall
+  seconds per ``tau`` seconds of committed work;
+* :func:`young_daly_interval` — the closed-form optimum
+  ``tau* = sqrt(2 C M)`` (Young 1974; Daly 2006 refines it, but at
+  ``C << M`` the two agree to first order), which the goodput curve's
+  empirical argmax must reproduce;
+* :func:`simulate_run` — a seeded stochastic timeline (exponential
+  failure draws, Bernoulli stragglers) for the realism the expectation
+  formula assumes away.
+
+The goodput report (``python -m repro.tools.goodput_report``) sweeps
+``tau`` over these functions per machine spec.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster import MachineSpec
+from ..config import GPTConfig
+
+__all__ = [
+    "FailureModel",
+    "RunOutcome",
+    "checkpoint_time",
+    "expected_goodput",
+    "goodput_curve",
+    "optimal_checkpoint_interval",
+    "simulate_run",
+    "young_daly_interval",
+]
+
+#: Bytes of persistent training state per parameter (fp32 master +
+#: two Adam moments + bf16 working copy; matches the memory model).
+STATE_BYTES_PER_PARAM = 16
+
+_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Reliability knobs of a machine-scale training run.
+
+    ``node_mtbf`` is per *node*; the whole job's MTBF shrinks linearly
+    with node count (independent exponential failures).  A straggler is
+    a transient slow node: with probability ``straggler_prob`` an
+    iteration runs ``straggler_slowdown`` times slower (network
+    congestion, a throttled GPU, filesystem interference — the
+    variability of Section VI-B, made persistent).
+    """
+
+    #: Mean time between failures of one node, seconds.
+    node_mtbf: float = 4380.0 * _HOUR  # ~6 months, typical HPC node
+    #: Fixed requeue/re-init cost per restart (scheduler latency, grid
+    #: re-formation), seconds — on top of re-reading the checkpoint.
+    restart_time: float = 120.0
+    #: Probability that a given iteration is hit by a straggler.
+    straggler_prob: float = 0.0
+    #: Multiplicative slowdown of a straggler-hit iteration (>= 1).
+    straggler_slowdown: float = 1.0
+    #: Aggregate shared-filesystem bandwidth, bytes/s (Lustre-scale).
+    fs_bandwidth: float = 500e9
+
+    def __post_init__(self) -> None:
+        if self.node_mtbf <= 0:
+            raise ValueError("node_mtbf must be positive")
+        if self.restart_time < 0:
+            raise ValueError("restart_time must be >= 0")
+        if not 0.0 <= self.straggler_prob <= 1.0:
+            raise ValueError("straggler_prob must be in [0, 1]")
+        if self.straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be >= 1")
+        if self.fs_bandwidth <= 0:
+            raise ValueError("fs_bandwidth must be positive")
+
+    def failure_rate(self, num_nodes: int) -> float:
+        """Job-wide failures per second across ``num_nodes`` nodes."""
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        return num_nodes / self.node_mtbf
+
+    def job_mtbf(self, num_nodes: int) -> float:
+        """Mean seconds between failures anywhere in the job."""
+        return 1.0 / self.failure_rate(num_nodes)
+
+    def expected_iteration_time(self, base: float) -> float:
+        """Mean iteration time once stragglers are factored in."""
+        return base * (
+            1.0 + self.straggler_prob * (self.straggler_slowdown - 1.0)
+        )
+
+
+def checkpoint_time(
+    cfg: GPTConfig,
+    machine: MachineSpec,
+    num_gpus: int,
+    model: FailureModel = FailureModel(),
+) -> float:
+    """Seconds to write (or read back) the full training state.
+
+    Every GPU holds ``1/num_gpus`` of the 16-byte-per-parameter state;
+    the write streams through each node's injection bandwidth in
+    parallel, but the shared filesystem caps the aggregate.
+    """
+    if num_gpus < 1:
+        raise ValueError("num_gpus must be >= 1")
+    state = cfg.num_parameters() * STATE_BYTES_PER_PARAM
+    nodes = max(1, num_gpus // machine.gpus_per_node)
+    injection = nodes * machine.inter_node_bw / 2.0  # unidirectional
+    return state / min(injection, model.fs_bandwidth)
+
+
+def young_daly_interval(ckpt_time: float, mtbf: float) -> float:
+    """Young's optimal checkpoint interval ``sqrt(2 C M)`` (seconds of
+    work between checkpoints, excluding the checkpoint itself)."""
+    if ckpt_time <= 0 or mtbf <= 0:
+        raise ValueError("checkpoint time and MTBF must be positive")
+    return math.sqrt(2.0 * ckpt_time * mtbf)
+
+
+def expected_goodput(
+    interval: float,
+    ckpt_time: float,
+    restart_time: float,
+    mtbf: float,
+) -> float:
+    """Expected fraction of wall time spent on *committed* work.
+
+    Renewal argument for exponential failures at rate ``1/mtbf``: each
+    segment must complete ``interval + ckpt_time`` seconds without a
+    failure; failed attempts cost their elapsed time plus the restart.
+    The closed form for the expected wall time per committed segment is
+    ``E[T] = e^{lambda R} (e^{lambda (tau + C)} - 1) / lambda``.
+    """
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    if ckpt_time < 0 or restart_time < 0 or mtbf <= 0:
+        raise ValueError("invalid cost/MTBF parameters")
+    lam = 1.0 / mtbf
+    wall = math.exp(lam * restart_time) * math.expm1(
+        lam * (interval + ckpt_time)
+    ) / lam
+    return interval / wall
+
+
+def goodput_curve(
+    intervals: list[float],
+    ckpt_time: float,
+    restart_time: float,
+    mtbf: float,
+) -> list[float]:
+    """Expected goodput at each candidate checkpoint interval."""
+    return [
+        expected_goodput(tau, ckpt_time, restart_time, mtbf)
+        for tau in intervals
+    ]
+
+
+def optimal_checkpoint_interval(
+    ckpt_time: float,
+    restart_time: float,
+    mtbf: float,
+    num_points: int = 600,
+) -> float:
+    """Empirical argmax of :func:`expected_goodput` on a log grid
+    spanning well past the Young/Daly optimum in both directions."""
+    center = young_daly_interval(ckpt_time, mtbf)
+    grid = np.geomspace(center / 30.0, center * 30.0, num_points)
+    best = max(grid, key=lambda tau: expected_goodput(
+        float(tau), ckpt_time, restart_time, mtbf
+    ))
+    return float(best)
+
+
+@dataclass
+class RunOutcome:
+    """What one stochastic :func:`simulate_run` produced."""
+
+    wall_time: float
+    work_time: float
+    failures: int
+    restarts: int
+    checkpoints: int
+    straggler_hits: int
+    lost_time: float
+
+    @property
+    def goodput(self) -> float:
+        return self.work_time / self.wall_time if self.wall_time else 0.0
+
+
+def simulate_run(
+    iteration_time: float,
+    num_iterations: int,
+    checkpoint_interval_iters: int,
+    ckpt_time: float,
+    model: FailureModel,
+    num_nodes: int,
+    seed: int = 0,
+    read_time: float | None = None,
+) -> RunOutcome:
+    """Replay a training run against seeded random failures.
+
+    Failures arrive as an exponential process at the job-wide rate; each
+    one rolls back to the last checkpoint (re-reading it costs
+    ``read_time``, defaulting to ``ckpt_time``) and pays the fixed
+    restart cost.  Stragglers stretch individual iterations.  Same seed,
+    same timeline — the stochastic twin of :func:`expected_goodput`.
+    """
+    if num_iterations < 1:
+        raise ValueError("num_iterations must be >= 1")
+    if checkpoint_interval_iters < 1:
+        raise ValueError("checkpoint_interval_iters must be >= 1")
+    rng = np.random.default_rng(seed)
+    rate = model.failure_rate(num_nodes)
+    read = ckpt_time if read_time is None else read_time
+
+    def draw_failure() -> float:
+        return float(rng.exponential(1.0 / rate)) if rate > 0 else math.inf
+
+    wall = 0.0
+    work = 0.0
+    failures = restarts = checkpoints = straggler_hits = 0
+    lost = 0.0
+    next_failure = draw_failure()
+    done = 0  # committed iterations
+    since_ckpt = 0.0  # wall time invested since the last checkpoint
+    it = 0  # iterations since the last checkpoint
+    while done < num_iterations:
+        t = iteration_time
+        if model.straggler_prob and rng.random() < model.straggler_prob:
+            t *= model.straggler_slowdown
+            straggler_hits += 1
+        if wall + t > next_failure:
+            # Failure mid-iteration: lose everything since the checkpoint.
+            lost_now = (next_failure - wall) + since_ckpt
+            wall = next_failure + model.restart_time + read
+            lost += lost_now + model.restart_time + read
+            failures += 1
+            restarts += 1
+            done -= it
+            work -= it * iteration_time
+            since_ckpt = 0.0
+            it = 0
+            next_failure = wall + draw_failure()
+            continue
+        wall += t
+        since_ckpt += t
+        work += iteration_time  # straggler excess is overhead, not work
+        done += 1
+        it += 1
+        if it == checkpoint_interval_iters and done < num_iterations:
+            if wall + ckpt_time > next_failure:
+                lost_now = (next_failure - wall) + since_ckpt
+                wall = next_failure + model.restart_time + read
+                lost += lost_now + model.restart_time + read
+                failures += 1
+                restarts += 1
+                # The in-flight checkpoint never landed: roll back.
+                done -= it
+                work -= it * iteration_time
+                since_ckpt = 0.0
+                it = 0
+                next_failure = wall + draw_failure()
+                continue
+            wall += ckpt_time
+            lost += ckpt_time
+            checkpoints += 1
+            since_ckpt = 0.0
+            it = 0
+    return RunOutcome(
+        wall_time=wall,
+        work_time=work,
+        failures=failures,
+        restarts=restarts,
+        checkpoints=checkpoints,
+        straggler_hits=straggler_hits,
+        lost_time=lost,
+    )

@@ -1,0 +1,143 @@
+"""Goodput vs. checkpoint interval: how often should a job checkpoint?
+
+For each machine the report computes the cost of writing one full
+training-state checkpoint (16 bytes/parameter through the injection
+and filesystem bandwidth), sweeps the checkpoint interval through the
+renewal-theory expected-goodput formula, and marks both the empirical
+optimum and Young/Daly's closed form ``sqrt(2 C M)`` — which the curve
+must reproduce.  A seeded stochastic replay cross-checks the
+expectation.
+
+Usage::
+
+    python -m repro.tools.goodput_report MODEL GPUS [MACHINE ...]
+        [--node-mtbf-hours H] [--restart S] [--iter-time S] [--seed N]
+
+Examples::
+
+    python -m repro.tools.goodput_report GPT-20B 1024
+    python -m repro.tools.goodput_report GPT-80B 4096 frontier alps \\
+        --node-mtbf-hours 1000
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from ..cluster import get_machine
+from ..config import get_model
+from ..simulate import (
+    FailureModel,
+    checkpoint_time,
+    expected_goodput,
+    goodput_curve,
+    optimal_checkpoint_interval,
+    simulate_run,
+    young_daly_interval,
+)
+from .ascii_plot import line_chart
+
+__all__ = ["main"]
+
+
+def _report(
+    model_name: str,
+    num_gpus: int,
+    machine_name: str,
+    fm: FailureModel,
+    iter_time: float,
+    seed: int,
+) -> None:
+    machine = get_machine(machine_name)
+    cfg = get_model(model_name)
+    nodes = max(1, num_gpus // machine.gpus_per_node)
+    ckpt = checkpoint_time(cfg, machine, num_gpus, fm)
+    mtbf = fm.job_mtbf(nodes)
+    yd = young_daly_interval(ckpt, mtbf)
+    emp = optimal_checkpoint_interval(ckpt, fm.restart_time, mtbf)
+
+    print(
+        f"{cfg.name} on {machine.name}: {num_gpus} GPUs / {nodes} nodes, "
+        f"checkpoint {ckpt:.1f}s, job MTBF {mtbf / 3600:.1f}h"
+    )
+    print(
+        f"  optimal interval: Young/Daly {yd:.0f}s, "
+        f"curve argmax {emp:.0f}s "
+        f"(goodput {expected_goodput(emp, ckpt, fm.restart_time, mtbf):.3f})"
+    )
+
+    taus = [float(t) for t in np.geomspace(yd / 20.0, yd * 20.0, 48)]
+    curve = goodput_curve(taus, ckpt, fm.restart_time, mtbf)
+    print()
+    print(
+        line_chart(
+            [float(np.log10(t)) for t in taus],
+            {f"{machine.name} E[goodput]": curve},
+            x_label="log10(checkpoint interval, s)",
+        )
+    )
+
+    # Stochastic cross-check at the optimum.
+    iters_per_ckpt = max(1, round(emp / iter_time))
+    out = simulate_run(
+        iter_time,
+        num_iterations=20 * iters_per_ckpt,
+        checkpoint_interval_iters=iters_per_ckpt,
+        ckpt_time=ckpt,
+        model=fm,
+        num_nodes=nodes,
+        seed=seed,
+    )
+    print(
+        f"  stochastic replay @ optimum (seed {seed}): "
+        f"goodput {out.goodput:.3f}, {out.failures} failure(s), "
+        f"{out.checkpoints} checkpoint(s), "
+        f"{out.straggler_hits} straggler hit(s)"
+    )
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.goodput_report",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("model")
+    parser.add_argument("gpus", type=int)
+    parser.add_argument(
+        "machines",
+        nargs="*",
+        default=["perlmutter", "frontier"],
+        help="machine specs to compare (default: perlmutter frontier)",
+    )
+    parser.add_argument("--node-mtbf-hours", type=float, default=4380.0)
+    parser.add_argument("--restart", type=float, default=120.0)
+    parser.add_argument(
+        "--straggler-prob", type=float, default=0.02,
+        help="per-iteration straggler probability in the replay",
+    )
+    parser.add_argument("--straggler-slowdown", type=float, default=2.0)
+    parser.add_argument(
+        "--iter-time", type=float, default=15.0,
+        help="seconds per training iteration in the stochastic replay",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    fm = FailureModel(
+        node_mtbf=args.node_mtbf_hours * 3600.0,
+        restart_time=args.restart,
+        straggler_prob=args.straggler_prob,
+        straggler_slowdown=args.straggler_slowdown,
+    )
+    for machine_name in args.machines:
+        _report(
+            args.model, args.gpus, machine_name, fm, args.iter_time, args.seed
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,6 +58,54 @@ class TestRingFormulas:
         with pytest.raises(ValueError):
             all_gather_time(100, 2, 0.0)
 
+    def test_all_four_primitives_hand_computed(self):
+        """Pin every primitive against Thakur & Gropp by hand:
+        p=8, 960-byte buffer, beta=10 B/s, alpha=0.5 s."""
+        p, beta, alpha = 8, 10.0, 0.5
+        # all-gather of 120-byte shards: 7 * (120/10 + 0.5) = 87.5
+        assert all_gather_time(120, p, beta, alpha) == pytest.approx(87.5)
+        # reduce-scatter: 7/8 * 960/10 + 7*0.5 = 84 + 3.5 = 87.5
+        assert reduce_scatter_time(960, p, beta, alpha) == pytest.approx(87.5)
+        # all-reduce: 2 * 7/8 * 960/10 + 14*0.5 = 168 + 7 = 175
+        assert all_reduce_time(960, p, beta, alpha) == pytest.approx(175.0)
+        # broadcast (scatter + all-gather): same wire traffic as
+        # all-reduce, 2 * 7/8 * 960/10 + 14*0.5 = 175
+        assert broadcast_time(960, p, beta, alpha) == pytest.approx(175.0)
+
+    def test_broadcast_scatter_allgather_structure(self):
+        """The fixed broadcast equals a scatter (one shard to each
+        non-root, expressed as an all-gather of 1/p shards) plus the
+        ring all-gather reassembly — NOT the old ``buffer/beta``."""
+        buf, p, beta = 4000.0, 5, 8.0
+        two_phase = 2 * all_gather_time(buf / p, p, beta)
+        assert broadcast_time(buf, p, beta) == pytest.approx(two_phase)
+        assert broadcast_time(buf, p, beta) > buf / beta  # old formula
+
+    def test_rejects_bad_byte_counts(self):
+        for fn in (all_gather_time, reduce_scatter_time, all_reduce_time,
+                   broadcast_time):
+            with pytest.raises(ValueError):
+                fn(-1.0, 4, 10.0)
+            with pytest.raises(ValueError):
+                fn(float("nan"), 4, 10.0)
+            with pytest.raises(ValueError):
+                fn(float("inf"), 4, 10.0)
+            assert fn(0.0, 4, 10.0) >= 0.0  # zero bytes is legal
+
+    @given(
+        nbytes=st.floats(0, 1e12),
+        p=st.integers(1, 128),
+        beta=st.floats(1e3, 1e12),
+        alpha=st.floats(0, 1e-3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ring_costs_finite_and_nonnegative(self, nbytes, p, beta, alpha):
+        for fn in (all_gather_time, reduce_scatter_time, all_reduce_time,
+                   broadcast_time):
+            t = fn(nbytes, p, beta, alpha)
+            assert np.isfinite(t)
+            assert t >= 0.0
+
     @given(p=st.integers(2, 64), size=st.floats(1, 1e9), beta=st.floats(1e6, 1e12))
     @settings(max_examples=50, deadline=None)
     def test_allreduce_approaches_2x_buffer_over_beta(self, p, size, beta):
