@@ -2,11 +2,15 @@
 
 from .axonn import AxoNN, init
 from .checkpoint_io import (
+    CheckpointRing,
+    gather_training_arrays,
     load_checkpoint,
+    load_training_arrays,
     load_training_state,
     reshard,
     save_checkpoint,
     save_training_state,
+    verify_checkpoint,
 )
 from .collective_ops import (
     all_gather_t,
@@ -28,6 +32,7 @@ from .degenerate import (
     make_degenerate_grid,
 )
 from .easy_api import ACTIVATIONS, ParallelMLP
+from .elastic import ElasticReport, grid_fits, shrink_grid, train_elastic
 from .grid import Grid4D, GridConfig, enumerate_grid_configs
 from .parallel_layers import ParallelEmbedding, ParallelLayerNorm, ParallelLinear
 from .parallel_loss import vocab_parallel_cross_entropy
@@ -52,6 +57,14 @@ __all__ = [
     "reshard",
     "save_training_state",
     "load_training_state",
+    "gather_training_arrays",
+    "load_training_arrays",
+    "verify_checkpoint",
+    "CheckpointRing",
+    "grid_fits",
+    "shrink_grid",
+    "ElasticReport",
+    "train_elastic",
     "Grid4D",
     "GridConfig",
     "enumerate_grid_configs",

@@ -18,6 +18,7 @@ without the master copies, updates smaller than a bf16 ulp would vanish
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
@@ -163,6 +164,10 @@ class RecoveryReport:
     resumed_from: list[int] = field(default_factory=list)
     #: Steps re-executed because they post-dated the surviving checkpoint.
     steps_lost: int = 0
+    #: Restart cause histogram (``"kill"`` / ``"timeout"`` /
+    #: ``"corruption"`` / ...), per :func:`repro.runtime.faults.fault_cause`
+    #: — the breakdown the goodput analysis consumes.
+    restart_causes: Counter = field(default_factory=Counter)
 
     @property
     def steps(self) -> int:
@@ -213,7 +218,7 @@ def train_with_recovery(
     # Local import: repro.core imports repro.nn at module load, so a
     # top-level import here would be circular.
     from ..core.checkpoint_io import load_training_state, save_training_state
-    from ..runtime.faults import FaultError, fault_scope
+    from ..runtime.faults import FaultError, fault_cause, fault_scope
 
     if checkpoint_interval < 1:
         raise ValueError("checkpoint_interval must be >= 1")
@@ -230,7 +235,21 @@ def train_with_recovery(
         try:
             with fault_scope(injector):
                 loss = trainer.step(ids, loss_mask=mask)
-        except FaultError:
+            report.losses.append(loss)
+            step += 1
+            # The checkpoint write lives inside the recovery net too: a
+            # torn write raises here, rolls back to the previous (still
+            # intact, thanks to the atomic-replace protocol) checkpoint,
+            # and re-runs the window instead of killing the job.
+            if step % checkpoint_interval == 0:
+                save_training_state(
+                    trainer.model, trainer.optimizer, checkpoint_path,
+                    injector=injector,
+                )
+                report.checkpoint_saves += 1
+                last_saved = step
+        except FaultError as exc:
+            report.restart_causes[fault_cause(exc)] += 1
             if injector is None or report.restarts >= max_restarts:
                 raise
             report.restarts += 1
@@ -242,10 +261,12 @@ def train_with_recovery(
             del report.losses[last_saved:]
             step = last_saved
             continue
-        report.losses.append(loss)
-        step += 1
-        if step % checkpoint_interval == 0:
-            save_training_state(trainer.model, trainer.optimizer, checkpoint_path)
-            report.checkpoint_saves += 1
-            last_saved = step
+    if last_saved != step:
+        # Final state for a run whose length is not a multiple of the
+        # interval — otherwise the tail steps would silently be lost to
+        # any later resume.
+        save_training_state(
+            trainer.model, trainer.optimizer, checkpoint_path, injector=injector
+        )
+        report.checkpoint_saves += 1
     return report

@@ -30,6 +30,16 @@ Fault classes and their runtime behaviour:
 * ``delay_wait`` — a non-blocking collective's completion is late;
   :meth:`~repro.runtime.nonblocking.Handle.wait` runs the same
   retry/backoff loop.
+* ``torn_write`` — the node crashes in the middle of persisting the
+  ``match``-th checkpoint: the bytes being written are truncated on
+  disk and :class:`TornWriteError` is raised.  An atomic writer (tmp
+  file + ``os.replace``) confines the damage to the temporary file —
+  the previous checkpoint survives; a non-atomic writer loses the
+  checkpoint itself.
+* ``corrupt_checkpoint`` — one bit of the ``match``-th checkpoint file
+  is flipped *after* a successful write (silent storage corruption);
+  only an integrity check at load time — the per-array CRC32 manifest
+  of :mod:`repro.core.checkpoint_io` — can catch it.
 
 :func:`corrupt_schedule` maps each fault class to the *footprint it
 leaves on a recorded schedule* (a killed rank's truncated event stream,
@@ -43,6 +53,7 @@ from __future__ import annotations
 from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Iterable, Iterator, Mapping
 
 import numpy as np
@@ -54,17 +65,28 @@ __all__ = [
     "RankFailure",
     "DesyncError",
     "CommTimeoutError",
+    "TornWriteError",
+    "CheckpointCorruptionError",
     "FaultSpec",
     "FaultPlan",
     "RetryPolicy",
     "FaultInjector",
     "fault_scope",
+    "fault_cause",
     "get_active_injector",
     "corrupt_schedule",
 ]
 
 #: The supported fault classes.
-FAULT_KINDS = ("kill", "drop_p2p", "delay_p2p", "bitflip", "delay_wait")
+FAULT_KINDS = (
+    "kill",
+    "drop_p2p",
+    "delay_p2p",
+    "bitflip",
+    "delay_wait",
+    "torn_write",
+    "corrupt_checkpoint",
+)
 
 
 # -- exception hierarchy ------------------------------------------------------
@@ -114,6 +136,51 @@ class CommTimeoutError(FaultError):
         )
 
 
+class TornWriteError(FaultError):
+    """A checkpoint write was interrupted mid-stream (node crash).
+
+    The file being written holds a truncated prefix of the intended
+    bytes.  Under the atomic write protocol the torn file is the
+    temporary one and the previous checkpoint is untouched.
+    """
+
+    def __init__(self, path: str, save_index: int) -> None:
+        self.path = str(path)
+        self.save_index = save_index
+        super().__init__(
+            f"checkpoint write #{save_index} to {path} torn mid-stream"
+        )
+
+
+class CheckpointCorruptionError(FaultError):
+    """A checkpoint failed its integrity check (CRC mismatch, torn or
+    unreadable file, missing manifest)."""
+
+    def __init__(self, path: str, detail: str) -> None:
+        self.path = str(path)
+        self.detail = detail
+        super().__init__(f"checkpoint {path} failed verification: {detail}")
+
+
+def fault_cause(exc: BaseException) -> str:
+    """Classify a fault exception for restart-cause accounting.
+
+    Returns one of ``"kill"``, ``"timeout"``, ``"corruption"``,
+    ``"desync"``, or ``"other"`` — the categories the goodput analysis
+    distinguishes (a kill costs a node, a timeout is transient, a
+    corruption costs checkpoint history).
+    """
+    if isinstance(exc, RankFailure):
+        return "kill"
+    if isinstance(exc, CommTimeoutError):
+        return "timeout"
+    if isinstance(exc, (TornWriteError, CheckpointCorruptionError)):
+        return "corruption"
+    if isinstance(exc, DesyncError):
+        return "desync"
+    return "other"
+
+
 # -- fault specification ------------------------------------------------------
 
 
@@ -133,6 +200,11 @@ class FaultSpec:
       collective when ``op`` is empty).
     * ``delay_wait``: the ``match``-th non-blocking ``op`` completes
       ``delay`` seconds late.
+    * ``torn_write``: the ``match``-th checkpoint save is interrupted
+      mid-write (truncated bytes + :class:`TornWriteError`).
+    * ``corrupt_checkpoint``: bit ``bit`` of one byte of the
+      ``match``-th *successfully written* checkpoint file is silently
+      inverted on disk.
     """
 
     kind: str
@@ -285,6 +357,7 @@ class FaultInjector:
         self._p2p_seen: Counter = Counter()  # (src, dst) -> messages seen
         self._op_seen: Counter = Counter()  # (rank, op) -> collectives seen
         self._wait_seen: Counter = Counter()  # op -> waits seen
+        self._ckpt_saves = 0  # checkpoint saves seen
         self._rng = np.random.default_rng(self.plan.seed)
         #: Virtual seconds spent in retry waits (accumulated).
         self.waited = 0.0
@@ -467,6 +540,81 @@ class FaultInjector:
                 f"{f.delay:.3g}s late",
                 f.delay,
             )
+
+    def collect_armed_kills(self, total: int | None = None, tracer=None) -> set[int]:
+        """Fire every armed kill (``step <= now``) without raising and
+        return the full dead-rank set.
+
+        A collective only surfaces the *first* dead participant; the
+        re-formation health check that follows a failure discovers every
+        node that died by now in one sweep — which is what distinguishes
+        a correlated failure (e.g. a buddy pair on one chassis) from a
+        lone kill.  ``total`` restricts the sweep to ranks that exist in
+        the current grid (kills aimed at already-removed ranks stay
+        armed).
+        """
+        for i, f in enumerate(self.plan.faults):
+            if (
+                i not in self._fired
+                and f.kind == "kill"
+                and f.step <= self.step
+                and (total is None or f.rank < total)
+            ):
+                self._fire(i, "kills")
+                self.dead.add(f.rank)
+                if tracer is not None:
+                    tracer.mark_dead(f.rank)
+        return set(self.dead)
+
+    # -- checkpoint hooks ---------------------------------------------------
+
+    def next_checkpoint_save(self) -> int:
+        """Claim the index of the checkpoint save about to happen.
+
+        The checkpoint writer calls this once per save; ``torn_write``
+        and ``corrupt_checkpoint`` faults match against the returned
+        index.
+        """
+        idx = self._ckpt_saves
+        self._ckpt_saves += 1
+        return idx
+
+    def check_torn_write(self, save_index: int, written, final) -> None:
+        """Fire a matching ``torn_write``: truncate the freshly-written
+        file (``written`` — the tmp file under the atomic protocol) and
+        raise :class:`TornWriteError`, modelling a crash before the
+        rename onto ``final``."""
+        for i, f in enumerate(self.plan.faults):
+            if (
+                i in self._fired
+                or f.kind != "torn_write"
+                or f.match != save_index
+            ):
+                continue
+            self._fire(i, "torn_writes")
+            target = Path(written)
+            data = target.read_bytes()
+            target.write_bytes(data[: max(1, len(data) // 2)])
+            raise TornWriteError(str(final), save_index)
+
+    def corrupt_checkpoint_file(self, save_index: int, path) -> None:
+        """Fire a matching ``corrupt_checkpoint``: silently invert one
+        bit of the persisted checkpoint file."""
+        for i, f in enumerate(self.plan.faults):
+            if (
+                i in self._fired
+                or f.kind != "corrupt_checkpoint"
+                or f.match != save_index
+            ):
+                continue
+            self._fire(i, "ckpt_corruptions")
+            target = Path(path)
+            raw = bytearray(target.read_bytes())
+            # A deterministic mid-file byte: deep enough to land in array
+            # payload, away from the zip central directory.
+            offset = len(raw) // 2
+            raw[offset] ^= 1 << (f.bit % 8)
+            target.write_bytes(bytes(raw))
 
 
 # -- active-injector context ---------------------------------------------------

@@ -9,10 +9,15 @@ from .executor import (
 from .failures import (
     FailureModel,
     RunOutcome,
+    StrategyComparison,
     checkpoint_time,
+    compare_recovery_strategies,
+    expected_elastic_goodput,
     expected_goodput,
+    expected_restart_goodput,
     goodput_curve,
     optimal_checkpoint_interval,
+    shrunken_throughput,
     simulate_run,
     young_daly_interval,
 )
@@ -54,6 +59,11 @@ __all__ = [
     "optimal_checkpoint_interval",
     "simulate_run",
     "young_daly_interval",
+    "StrategyComparison",
+    "compare_recovery_strategies",
+    "expected_elastic_goodput",
+    "expected_restart_goodput",
+    "shrunken_throughput",
     "MemoryBreakdown",
     "estimate_memory",
     "max_batch_per_replica",

@@ -41,10 +41,15 @@ from ..config import GPTConfig
 __all__ = [
     "FailureModel",
     "RunOutcome",
+    "StrategyComparison",
     "checkpoint_time",
+    "compare_recovery_strategies",
+    "expected_elastic_goodput",
     "expected_goodput",
+    "expected_restart_goodput",
     "goodput_curve",
     "optimal_checkpoint_interval",
+    "shrunken_throughput",
     "simulate_run",
     "young_daly_interval",
 ]
@@ -189,6 +194,141 @@ def optimal_checkpoint_interval(
         float(tau), ckpt_time, restart_time, mtbf
     ))
     return float(best)
+
+
+# -- elastic continuation vs restart-and-wait ---------------------------------
+
+
+def shrunken_throughput(
+    num_nodes: int, lost_nodes: int = 1, comm_penalty: float = 0.0
+) -> float:
+    """Relative throughput of the job after shrinking onto survivors.
+
+    Losing ``lost_nodes`` of ``num_nodes`` removes compute
+    proportionally; ``comm_penalty`` (fraction in [0, 1)) models the
+    additional efficiency loss of the smaller — possibly less regular,
+    e.g. non-power-of-two — grid (worse collective algorithms, a lumpier
+    batch split).
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    if not 0 <= lost_nodes < num_nodes:
+        raise ValueError("lost_nodes must be in [0, num_nodes)")
+    if not 0.0 <= comm_penalty < 1.0:
+        raise ValueError("comm_penalty must be in [0, 1)")
+    return (num_nodes - lost_nodes) / num_nodes * (1.0 - comm_penalty)
+
+
+def expected_restart_goodput(
+    interval: float,
+    ckpt_time: float,
+    restart_time: float,
+    mtbf: float,
+    replacement_wait: float = 0.0,
+) -> float:
+    """Goodput of the classical strategy when the grid can only re-form
+    at full size: every failure blocks for ``replacement_wait`` seconds
+    (scheduler queue, spare-pool latency) before the restart proper —
+    the wait simply inflates the per-failure restart cost in
+    :func:`expected_goodput`.
+    """
+    return expected_goodput(
+        interval, ckpt_time, restart_time + replacement_wait, mtbf
+    )
+
+
+def expected_elastic_goodput(
+    interval: float,
+    ckpt_time: float,
+    reshard_time: float,
+    mtbf: float,
+    replacement_wait: float = 0.0,
+    shrink_fraction: float = 1.0,
+) -> float:
+    """Goodput of elastic continuation: shrink onto survivors, keep
+    training, grow back when the replacement arrives.
+
+    First-order renewal accounting over a mean inter-failure window of
+    ``mtbf`` seconds: the failure costs one in-memory shrink and one
+    grow (``reshard_time`` each — no disk round-trip, no queue wait),
+    the ``min(replacement_wait, mtbf)`` seconds until capacity returns
+    run at ``shrink_fraction`` of full throughput (see
+    :func:`shrunken_throughput`), and the remainder runs at full speed.
+    The periodic-checkpoint overhead ``interval / (interval + C)``
+    still applies — elastic recovery reduces *restart* cost, not the
+    need for the disk ring (correlated failures still fall back to it).
+    """
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    if min(ckpt_time, reshard_time, replacement_wait) < 0 or mtbf <= 0:
+        raise ValueError("invalid cost/MTBF parameters")
+    if not 0.0 < shrink_fraction <= 1.0:
+        raise ValueError("shrink_fraction must be in (0, 1]")
+    shrunk = min(replacement_wait, mtbf)
+    productive = mtbf - 2.0 * reshard_time - (1.0 - shrink_fraction) * shrunk
+    ckpt_overhead = interval / (interval + ckpt_time)
+    return max(0.0, productive / mtbf) * ckpt_overhead
+
+
+@dataclass(frozen=True)
+class StrategyComparison:
+    """Elastic continuation vs restart-and-wait for one machine spec."""
+
+    elastic_goodput: float
+    restart_goodput: float
+    shrink_fraction: float
+    replacement_wait: float
+
+    @property
+    def winner(self) -> str:
+        return (
+            "elastic"
+            if self.elastic_goodput >= self.restart_goodput
+            else "restart"
+        )
+
+    @property
+    def advantage(self) -> float:
+        """Goodput gained by the winning strategy over the other."""
+        return abs(self.elastic_goodput - self.restart_goodput)
+
+
+def compare_recovery_strategies(
+    interval: float,
+    ckpt_time: float,
+    restart_time: float,
+    mtbf: float,
+    replacement_wait: float,
+    num_nodes: int,
+    lost_nodes: int = 1,
+    comm_penalty: float = 0.0,
+    reshard_time: float | None = None,
+) -> StrategyComparison:
+    """Which recovery strategy wins for this spec?
+
+    ``reshard_time`` defaults to ``restart_time`` (grid re-formation
+    dominates both; elastic just skips the queue and the checkpoint
+    read).  The break-even intuition: elastic wins when
+    ``(1 - f) * wait`` (degraded-capacity loss) is smaller than the
+    full-stop loss of blocking ``wait`` seconds plus the rollback —
+    i.e. almost always once ``wait`` rivals the MTBF.
+    """
+    f = shrunken_throughput(num_nodes, lost_nodes, comm_penalty)
+    return StrategyComparison(
+        elastic_goodput=expected_elastic_goodput(
+            interval,
+            ckpt_time,
+            restart_time if reshard_time is None else reshard_time,
+            mtbf,
+            replacement_wait,
+            f,
+        ),
+        restart_goodput=expected_restart_goodput(
+            interval, ckpt_time, restart_time, mtbf, replacement_wait
+        ),
+        shrink_fraction=f,
+        replacement_wait=replacement_wait,
+    )
 
 
 @dataclass

@@ -12,6 +12,13 @@ Usage::
 
     python -m repro.tools.goodput_report MODEL GPUS [MACHINE ...]
         [--node-mtbf-hours H] [--restart S] [--iter-time S] [--seed N]
+        [--replacement-wait S] [--reshard-time S] [--comm-penalty F]
+
+Besides the checkpoint-interval sweep, the report compares the two
+recovery strategies at the optimal interval: **elastic continuation**
+(shrink onto survivors, keep training at reduced throughput, grow back
+when the replacement arrives) vs **restart-and-wait** (block until a
+replacement node shows up, re-form the full grid from the checkpoint).
 
 Examples::
 
@@ -31,6 +38,7 @@ from ..config import get_model
 from ..simulate import (
     FailureModel,
     checkpoint_time,
+    compare_recovery_strategies,
     expected_goodput,
     goodput_curve,
     optimal_checkpoint_interval,
@@ -49,6 +57,9 @@ def _report(
     fm: FailureModel,
     iter_time: float,
     seed: int,
+    replacement_wait: float,
+    reshard_time: float | None,
+    comm_penalty: float,
 ) -> None:
     machine = get_machine(machine_name)
     cfg = get_model(model_name)
@@ -96,6 +107,25 @@ def _report(
         f"{out.checkpoints} checkpoint(s), "
         f"{out.straggler_hits} straggler hit(s)"
     )
+
+    # Elastic continuation vs restart-and-wait at the optimal interval.
+    cmp = compare_recovery_strategies(
+        emp,
+        ckpt,
+        fm.restart_time,
+        mtbf,
+        replacement_wait,
+        nodes,
+        comm_penalty=comm_penalty,
+        reshard_time=reshard_time,
+    )
+    print(
+        f"  recovery strategy (replacement wait "
+        f"{replacement_wait / 60:.0f}min, shrunk throughput "
+        f"{cmp.shrink_fraction:.3f}): elastic {cmp.elastic_goodput:.3f} "
+        f"vs restart-and-wait {cmp.restart_goodput:.3f} "
+        f"-> {cmp.winner} wins by {cmp.advantage:.3f}"
+    )
     print()
 
 
@@ -124,6 +154,18 @@ def main(argv: list[str] | None = None) -> int:
         help="seconds per training iteration in the stochastic replay",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--replacement-wait", type=float, default=1800.0,
+        help="seconds until a replacement node arrives (elastic model)",
+    )
+    parser.add_argument(
+        "--reshard-time", type=float, default=None,
+        help="seconds per in-memory shrink/grow (default: --restart)",
+    )
+    parser.add_argument(
+        "--comm-penalty", type=float, default=0.05,
+        help="extra efficiency loss of the shrunken grid, in [0, 1)",
+    )
     args = parser.parse_args(argv)
 
     fm = FailureModel(
@@ -134,7 +176,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     for machine_name in args.machines:
         _report(
-            args.model, args.gpus, machine_name, fm, args.iter_time, args.seed
+            args.model,
+            args.gpus,
+            machine_name,
+            fm,
+            args.iter_time,
+            args.seed,
+            args.replacement_wait,
+            args.reshard_time,
+            args.comm_penalty,
         )
     return 0
 

@@ -200,3 +200,98 @@ class TestGoodputReportCLI:
         assert "perlmutter" in out
         assert "frontier" in out
         assert "E[goodput]" in out
+
+
+class TestElasticGoodput:
+    """The elastic-continuation vs restart-and-wait strategy model."""
+
+    def test_shrunken_throughput_properties(self):
+        from repro.simulate import shrunken_throughput
+
+        assert shrunken_throughput(256, 1) == pytest.approx(255 / 256)
+        assert shrunken_throughput(256, 0) == 1.0
+        assert shrunken_throughput(8, 2, comm_penalty=0.25) == pytest.approx(
+            0.75 * 0.75
+        )
+        with pytest.raises(ValueError):
+            shrunken_throughput(8, 8)
+        with pytest.raises(ValueError):
+            shrunken_throughput(8, 1, comm_penalty=1.0)
+
+    def test_elastic_goodput_monotone_in_replacement_wait(self):
+        """Longer waits hurt both strategies, but elastic degrades
+        gracefully (bounded by the shrunken-fraction loss) while
+        restart-and-wait collapses."""
+        from repro.simulate import (
+            expected_elastic_goodput,
+            expected_restart_goodput,
+        )
+
+        mtbf = 4 * 3600.0
+        waits = [60.0, 600.0, 3600.0, 4 * 3600.0]
+        elastic = [
+            expected_elastic_goodput(600.0, 30.0, 120.0, mtbf, w, 0.9)
+            for w in waits
+        ]
+        restart = [
+            expected_restart_goodput(600.0, 30.0, 120.0, mtbf, w)
+            for w in waits
+        ]
+        assert elastic == sorted(elastic, reverse=True)
+        assert restart == sorted(restart, reverse=True)
+        # Elastic can lose at most (1 - f) of the window to degradation.
+        assert elastic[-1] > 0.8 * elastic[0]
+        assert restart[-1] < 0.5 * restart[0]
+
+    def test_zero_wait_elastic_still_pays_reshard(self):
+        from repro.simulate import expected_elastic_goodput
+
+        mtbf = 3600.0
+        bound = 600.0 / 630.0  # checkpoint overhead alone
+        el = expected_elastic_goodput(600.0, 30.0, 120.0, mtbf, 0.0, 0.9)
+        assert el < bound  # the two reshard transitions are not free
+        free = expected_elastic_goodput(600.0, 30.0, 0.0, mtbf, 0.0, 0.9)
+        assert free == pytest.approx(bound)  # and they are the only cost
+
+    def test_winner_flips_with_reshard_cost(self):
+        """Elastic wins whenever resharding is cheap (buddy restores
+        mean no rollback at all); only a prohibitively expensive
+        reshard — rivaling the MTBF itself — hands the win back to
+        restart-and-wait.  The simulator must express both regimes."""
+        from repro.simulate import compare_recovery_strategies
+
+        mtbf = 2 * 3600.0
+        cheap = compare_recovery_strategies(
+            600.0, 30.0, 120.0, mtbf, replacement_wait=3600.0,
+            num_nodes=256, comm_penalty=0.0,
+        )
+        expensive = compare_recovery_strategies(
+            600.0, 30.0, 120.0, mtbf, replacement_wait=0.0,
+            num_nodes=16, comm_penalty=0.3, reshard_time=0.4 * mtbf,
+        )
+        assert cheap.winner == "elastic"
+        assert cheap.advantage > 0.0
+        assert expensive.winner == "restart"
+
+    def test_validation(self):
+        from repro.simulate import expected_elastic_goodput
+
+        with pytest.raises(ValueError):
+            expected_elastic_goodput(0.0, 30.0, 120.0, 3600.0)
+        with pytest.raises(ValueError):
+            expected_elastic_goodput(600.0, 30.0, 120.0, 3600.0,
+                                     shrink_fraction=0.0)
+        with pytest.raises(ValueError):
+            expected_elastic_goodput(600.0, 30.0, -1.0, 3600.0)
+
+    def test_report_cli_prints_strategy_comparison(self, capsys):
+        from repro.tools.goodput_report import main
+
+        assert main([
+            "GPT-20B", "512", "perlmutter", "--iter-time", "10",
+            "--node-mtbf-hours", "100", "--replacement-wait", "3600",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "elastic" in out
+        assert "restart-and-wait" in out
+        assert "wins by" in out

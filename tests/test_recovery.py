@@ -232,3 +232,86 @@ class TestReplayedScheduleMatchesGolden:
 
         # And the replayed segment is a *valid* schedule in its own right.
         assert validate_schedule(replay_segment) == []
+
+
+class TestRecoveryReportAccounting:
+    def test_final_checkpoint_written_on_ragged_end(self, tmp_path):
+        """A run of 5 steps with interval 2 must still persist steps 4-5:
+        the loop writes a final checkpoint when it ends off-interval, so
+        a later resume sees the finished state, not step 4's."""
+        cfg = tiny_cfg()
+        batches = make_batches(cfg, n=5)
+        factory = parallel_factory(cfg)
+        path = tmp_path / "state.npz"
+        report = train_with_recovery(
+            factory, batches, path, checkpoint_interval=2
+        )
+        # step0 + steps 2, 4 + the ragged final at 5.
+        assert report.checkpoint_saves == 4
+
+        from repro.core import load_training_state
+
+        trainer = factory()
+        load_training_state(trainer.model, trainer.optimizer, path)
+        assert trainer.optimizer.t == 5  # the checkpoint holds the final step
+
+    def test_no_extra_checkpoint_when_end_is_on_interval(self, tmp_path):
+        cfg = tiny_cfg()
+        batches = make_batches(cfg, n=4)
+        report = train_with_recovery(
+            parallel_factory(cfg), batches, tmp_path / "s.npz",
+            checkpoint_interval=2,
+        )
+        assert report.checkpoint_saves == 3  # steps 0, 2, 4 — no ragged tail
+
+    def test_restart_causes_counted_by_kind(self, tmp_path):
+        """Kills and torn checkpoint writes are distinct causes in the
+        report — the breakdown the goodput analysis needs."""
+        cfg = tiny_cfg()
+        batches = make_batches(cfg, n=6)
+        factory = parallel_factory(cfg)
+        ref = train_with_recovery(
+            factory, batches, tmp_path / "ref.npz", checkpoint_interval=1
+        )
+        inj = FaultInjector(
+            FaultPlan(
+                (
+                    FaultSpec("kill", rank=1, step=2),
+                    # Saves: step0=0, steps 1..  -> save index 4 is the
+                    # post-step-4 write (after the kill's restart).
+                    FaultSpec("torn_write", match=4),
+                )
+            )
+        )
+        rec = train_with_recovery(
+            factory,
+            batches,
+            tmp_path / "rec.npz",
+            checkpoint_interval=1,
+            injector=inj,
+        )
+        assert rec.restart_causes["kill"] == 1
+        assert rec.restart_causes["corruption"] == 1
+        assert rec.restarts == 2
+        assert rec.losses == ref.losses  # torn write rolled back cleanly
+
+    def test_torn_write_rolls_back_to_previous_checkpoint(self, tmp_path):
+        """The atomic protocol means a torn write leaves the previous
+        checkpoint intact; the loop recovers from it instead of dying."""
+        cfg = tiny_cfg()
+        batches = make_batches(cfg, n=4)
+        factory = parallel_factory(cfg)
+        ref = train_with_recovery(
+            factory, batches, tmp_path / "ref.npz", checkpoint_interval=1
+        )
+        inj = FaultInjector(FaultPlan((FaultSpec("torn_write", match=2),)))
+        rec = train_with_recovery(
+            factory,
+            batches,
+            tmp_path / "rec.npz",
+            checkpoint_interval=1,
+            injector=inj,
+        )
+        assert rec.restarts == 1
+        assert rec.restart_causes == {"corruption": 1}
+        assert rec.losses == ref.losses
