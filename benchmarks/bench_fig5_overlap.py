@@ -67,6 +67,15 @@ def test_fig5_overlap_breakdown(benchmark, report, model_name):
         rows,
     )
 
+    report.meta = {"model": model_name, "gcds": GCDS, "batch": BATCH}
+    for label, r in results:
+        report.metric(f"overlap.total_time.{label}", r.total_time)
+        report.metric(f"overlap.exposed_comm.{label}", r.exposed_comm_time)
+    report.metric(
+        "overlap.full_gain_pct",
+        100 * (1 - results[-1][1].total_time / base),
+    )
+
     times = [r.total_time for _, r in results]
     comps = [r.compute_time for _, r in results]
     # Successive optimizations never slow the iteration down, and the

@@ -34,6 +34,8 @@ class Report:
     def __init__(self, name: str) -> None:
         self.name = name
         self.lines: list[str] = []
+        self.metrics: dict[str, float] = {}
+        self.meta: dict = {}
 
     def line(self, text: str = "") -> None:
         self.lines.append(text)
@@ -51,10 +53,18 @@ class Report:
         for row in rows:
             self.line(fmt.format(*[str(c) for c in row]))
 
+    def metric(self, name: str, value: float) -> None:
+        """Record one numeric result for the BENCH_<name>.json summary."""
+        self.metrics[name] = float(value)
+
     def save(self) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{self.name}.txt"
         path.write_text("\n".join(self.lines) + "\n")
+        if self.metrics:
+            from repro.telemetry import write_bench_json
+
+            write_bench_json(RESULTS_DIR, self.name, self.metrics, self.meta)
 
 
 @pytest.fixture

@@ -14,16 +14,22 @@ The package rebuilds the paper's system, AxoNN, in pure Python:
   stands in for Perlmutter, Frontier, and Alps;
 * :mod:`repro.memorization` — the catastrophic-memorization study and
   the Goldfish loss;
+* :mod:`repro.telemetry` — span tracing, a metrics registry, and
+  Chrome-trace / ``BENCH_*.json`` exporters shared by the runtime and
+  the simulator;
 * :mod:`repro.cluster`, :mod:`repro.runtime`, :mod:`repro.tensor`,
   :mod:`repro.nn` — the substrates (machines/network, virtual ring
   collectives, autograd engine, GPT reference model).
 
-Quick start::
+This module is the blessed public surface: everything in ``__all__``
+below is a supported entry point.  Quick start::
 
     from repro import axonn_init
     ctx = axonn_init(gx=2, gy=2, gz=2, gdata=1)
     model = ctx.parallelize("GPT-5B")       # 4D-parallel GPT
 """
+
+import warnings as _warnings
 
 from .config import (
     DEFAULT_SEQ_LEN,
@@ -32,18 +38,87 @@ from .config import (
     GPTConfig,
     get_model,
 )
-from .core.axonn import AxoNN
-from .core.axonn import init as axonn_init
+from .core import (
+    ACTIVATIONS,
+    AxoNN,
+    ElasticReport,
+    Grid4D,
+    GridConfig,
+    ParallelGPT,
+    ParallelMLP,
+    axonn_init,
+    enumerate_grid_configs,
+    train_elastic,
+)
+from .nn import (
+    MixedPrecisionTrainer,
+    RecoveryReport,
+    TrainingReport,
+    train_with_recovery,
+)
+from .telemetry import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    get_tracer,
+    set_tracer,
+    telemetry_scope,
+    traced,
+    write_bench_json,
+    write_chrome_trace,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    # model configuration
     "GPTConfig",
     "MODEL_ZOO",
     "get_model",
     "DEFAULT_SEQ_LEN",
     "DEFAULT_VOCAB_SIZE",
+    # 4D-parallel entry points
     "AxoNN",
     "axonn_init",
+    "Grid4D",
+    "GridConfig",
+    "enumerate_grid_configs",
+    "ParallelGPT",
+    "ParallelMLP",
+    "ACTIVATIONS",
+    # training loops and their reports
+    "MixedPrecisionTrainer",
+    "TrainingReport",
+    "RecoveryReport",
+    "train_with_recovery",
+    "ElasticReport",
+    "train_elastic",
+    # telemetry
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "telemetry_scope",
+    "traced",
+    "MetricsRegistry",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_bench_json",
     "__version__",
 ]
+
+_DEPRECATED = {
+    # old name -> (replacement name, replacement object)
+    "init": ("axonn_init", axonn_init),
+}
+
+
+def __getattr__(name):
+    if name in _DEPRECATED:
+        new_name, obj = _DEPRECATED[name]
+        _warnings.warn(
+            f"repro.{name} is deprecated; use repro.{new_name}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return obj
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,6 +1,9 @@
 """The paper's core contribution: the 4D hybrid parallel algorithm."""
 
-from .axonn import AxoNN, init
+import warnings as _warnings
+
+from .axonn import AxoNN
+from .axonn import init as axonn_init
 from .checkpoint_io import (
     CheckpointRing,
     gather_training_arrays,
@@ -51,7 +54,7 @@ from .pmm3d import (
 
 __all__ = [
     "AxoNN",
-    "init",
+    "axonn_init",
     "save_checkpoint",
     "load_checkpoint",
     "reshard",
@@ -100,3 +103,20 @@ __all__ = [
     "ParallelMLP",
     "ACTIVATIONS",
 ]
+
+_DEPRECATED = {
+    # old name -> (replacement name, replacement object)
+    "init": ("axonn_init", axonn_init),
+}
+
+
+def __getattr__(name):
+    if name in _DEPRECATED:
+        new_name, obj = _DEPRECATED[name]
+        _warnings.warn(
+            f"repro.core.{name} is deprecated; use repro.core.{new_name}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return obj
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -42,6 +42,7 @@ import numpy as np
 
 from ..nn.transformer import GPT
 from ..runtime.faults import CheckpointCorruptionError, get_active_injector
+from ..telemetry.spans import get_tracer as _telemetry, traced as _traced
 from .grid import Grid4D
 from .parallel_transformer import ParallelGPT
 
@@ -69,6 +70,7 @@ def _crc(arr: np.ndarray) -> int:
     return zlib.crc32(np.ascontiguousarray(arr).tobytes()) & 0xFFFFFFFF
 
 
+@_traced(name="ckpt.save", cat="ckpt")
 def _atomic_savez(
     path: Path,
     arrays: dict[str, np.ndarray],
@@ -86,6 +88,12 @@ def _atomic_savez(
     """
     if injector is None:
         injector = get_active_injector()
+    tel = _telemetry()
+    if tel is not None:
+        tel.metrics.counter("ckpt.saves").add(1)
+        tel.metrics.counter("ckpt.bytes_written").add(
+            sum(a.nbytes for a in arrays.values())
+        )
     manifest = {
         name: [_crc(a), str(a.dtype), list(a.shape)]
         for name, a in arrays.items()
@@ -112,6 +120,7 @@ def _load_arrays(path: str | Path) -> dict[str, np.ndarray]:
         return {k: data[k] for k in data.files if k != MANIFEST_KEY}
 
 
+@_traced(name="ckpt.verify", cat="ckpt")
 def verify_checkpoint(path: str | Path) -> dict[str, np.ndarray]:
     """Load a checkpoint and verify its CRC32 manifest.
 
@@ -148,6 +157,12 @@ def verify_checkpoint(path: str | Path) -> dict[str, np.ndarray]:
             )
         if _crc(a) != crc:
             raise CheckpointCorruptionError(str(path), f"{name}: CRC32 mismatch")
+    tel = _telemetry()
+    if tel is not None:
+        tel.metrics.counter("ckpt.reads").add(1)
+        tel.metrics.counter("ckpt.bytes_read").add(
+            sum(a.nbytes for a in arrays.values())
+        )
     return arrays
 
 
@@ -163,6 +178,7 @@ def _serial_state(model: GPT | ParallelGPT) -> dict[str, np.ndarray]:
 def save_checkpoint(
     model: GPT | ParallelGPT,
     path: str | Path,
+    *,
     injector=None,
     atomic: bool = True,
 ) -> None:
@@ -247,6 +263,7 @@ def save_training_state(
     model: GPT | ParallelGPT,
     optimizer,
     path: str | Path,
+    *,
     injector=None,
     atomic: bool = True,
 ) -> None:
@@ -433,7 +450,7 @@ class CheckpointRing:
                 continue
         return sorted(out)
 
-    def save(self, model, optimizer, step: int, injector=None) -> Path:
+    def save(self, model, optimizer, step: int, *, injector=None) -> Path:
         """Checkpoint the full training state at ``step`` and prune."""
         arrays = gather_training_arrays(model, optimizer)
         path = self.path_for(step)

@@ -36,13 +36,13 @@ sub-grids, e.g. 8 ranks shrinking to 6 as (1, 2, 3, 1).
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..config import GPTConfig
-from ..nn.training import MixedPrecisionTrainer, _split_batch
+from ..nn.training import MixedPrecisionTrainer, TrainingReport, _split_batch
 from ..runtime.faults import FaultError, fault_cause, fault_scope
+from ..telemetry.spans import get_tracer as _telemetry
 from ..runtime.replica_store import ReplicaStore
 from .checkpoint_io import (
     CheckpointRing,
@@ -126,12 +126,12 @@ def shrink_grid(
 
 
 @dataclass
-class ElasticReport:
-    """What :func:`train_elastic` did: the loss curve (rollbacks
-    truncate it, so the final sequence matches an uninterrupted run),
-    the grid's size history, and recovery-path accounting."""
+class ElasticReport(TrainingReport):
+    """What :func:`train_elastic` did: the shared
+    :class:`~repro.nn.training.TrainingReport` accounting (loss curve,
+    checkpoint/lost-step counts, restart causes) plus the grid's size
+    history and recovery-path breakdown."""
 
-    losses: list[float] = field(default_factory=list)
     #: (step at which the config became active, config) — starts with
     #: (0, initial) and gains an entry per shrink/grow.
     grid_history: list[tuple[int, GridConfig]] = field(default_factory=list)
@@ -142,15 +142,6 @@ class ElasticReport:
     #: Recoveries that fell back to the on-disk checkpoint ring.
     disk_restores: int = 0
     recoveries: int = 0
-    #: Steps re-executed because the recovery source predated the fault.
-    steps_lost: int = 0
-    checkpoint_saves: int = 0
-    #: Restart cause histogram per :func:`repro.runtime.faults.fault_cause`.
-    restart_causes: Counter = field(default_factory=Counter)
-
-    @property
-    def steps(self) -> int:
-        return len(self.losses)
 
     @property
     def final_config(self) -> GridConfig:
@@ -209,7 +200,7 @@ def train_elastic(
 
     store = make_store(trainer)
     if ring is not None:
-        ring.save(trainer.model, trainer.optimizer, 0, injector)
+        ring.save(trainer.model, trainer.optimizer, 0, injector=injector)
         report.checkpoint_saves += 1
     last_saved = 0
     step = 0
@@ -245,7 +236,7 @@ def train_elastic(
             if store is not None:
                 store.commit()
             if ring is not None and step % checkpoint_interval == 0:
-                ring.save(trainer.model, trainer.optimizer, step, injector)
+                ring.save(trainer.model, trainer.optimizer, step, injector=injector)
                 report.checkpoint_saves += 1
                 last_saved = step
         except FaultError as exc:
@@ -253,6 +244,9 @@ def train_elastic(
             if injector is None or report.recoveries >= max_recoveries:
                 raise
             report.recoveries += 1
+            tel = _telemetry()
+            if tel is not None:
+                tel.metrics.counter("train.recoveries").add(1)
             # Re-formation health check: discover *every* rank dead by
             # now (a collective only surfaces the first), so a buddy
             # pair dying together is seen as one correlated failure.
@@ -310,6 +304,6 @@ def train_elastic(
             del report.losses[resume:]
             step = resume
     if ring is not None and last_saved != step:
-        ring.save(trainer.model, trainer.optimizer, step, injector)
+        ring.save(trainer.model, trainer.optimizer, step, injector=injector)
         report.checkpoint_saves += 1
     return report

@@ -30,6 +30,7 @@ import numpy as np
 from ..config import GPTConfig
 from ..nn.module import Module
 from ..nn.transformer import GPT, causal_attention
+from ..telemetry.spans import traced as _traced
 from ..tensor import Tensor
 from ..tensor import functional as F
 from .grid import Grid4D
@@ -93,6 +94,7 @@ class ParallelBlock(Module):
         self.fc1 = ParallelLinear(grid, h, cfg.ffn_hidden, transposed=False, rng=rng)
         self.fc2 = ParallelLinear(grid, cfg.ffn_hidden, h, transposed=True, rng=rng)
 
+    @_traced(name="block", cat="compute")
     def forward(self, x_parts: RankDict, d: int = 0) -> RankDict:
         grid = self.grid
         block = grid.tensor_block_ranks(d)
@@ -175,6 +177,7 @@ class ParallelGPT(Module):
 
     # -- forward ---------------------------------------------------------------
 
+    @_traced(name="gpt.forward", cat="compute")
     def forward_parts(self, ids: np.ndarray) -> RankDict:
         """Per-rank logits (layout B: vocab split over X) for all replicas."""
         ids = np.asarray(ids)
@@ -203,6 +206,7 @@ class ParallelGPT(Module):
             logits.update(self._lm_head(x, d))
         return logits
 
+    @_traced(name="gpt.lm_head", cat="compute")
     def _lm_head(self, x_parts: RankDict, d: int) -> RankDict:
         """Tied LM head as a normal-orientation 3D matmul.
 
@@ -255,6 +259,7 @@ class ParallelGPT(Module):
 
     # -- loss --------------------------------------------------------------------
 
+    @_traced(name="gpt.loss", cat="train")
     def loss(self, ids: np.ndarray, loss_mask: np.ndarray | None = None) -> Tensor:
         """Next-token NLL identical to ``repro.nn.GPT.loss``."""
         ids = np.asarray(ids)

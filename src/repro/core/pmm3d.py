@@ -33,6 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..runtime import CommTracer, all_gather, all_reduce, reduce_scatter
+from ..telemetry.spans import get_tracer as _telemetry, traced as _traced
 from .grid import Grid4D
 
 __all__ = [
@@ -187,6 +188,7 @@ class PMMCache:
     W_full: dict[int, np.ndarray]  # all-gathered (unsharded along Z) blocks
 
 
+@_traced(cat="compute")
 def pmm3d_forward(
     grid: Grid4D,
     I_parts: dict[int, np.ndarray],
@@ -216,6 +218,14 @@ def pmm3d_forward(
 
     # Line 3: local matmul O_hat = I @ W.
     O_hat = {r: I_parts[r] @ W_full[r] for r in block}
+    tel = _telemetry()
+    if tel is not None:
+        tel.metrics.counter("compute.flops.pmm3d").add(
+            sum(
+                2 * I_parts[r].shape[0] * I_parts[r].shape[1] * W_full[r].shape[1]
+                for r in block
+            )
+        )
 
     # Line 4: O = all-reduce over the contraction axis.
     O: dict[int, np.ndarray] = {}
@@ -234,6 +244,7 @@ def pmm3d_forward(
     return O, PMMCache(I_parts={r: I_parts[r] for r in block}, W_full=W_full)
 
 
+@_traced(cat="compute")
 def pmm3d_backward(
     grid: Grid4D,
     dO_parts: dict[int, np.ndarray],
@@ -271,6 +282,18 @@ def pmm3d_backward(
 
     # Line 13: dW_hat = I^T @ dO  (local).
     dW_full = {r: cache.I_parts[r].T @ dO_parts[r] for r in block}
+    tel = _telemetry()
+    if tel is not None:
+        # Two matmuls per rank: dO @ W^T and I^T @ dO.
+        tel.metrics.counter("compute.flops.pmm3d").add(
+            sum(
+                2 * dO_parts[r].shape[0] * dO_parts[r].shape[1]
+                * cache.W_full[r].shape[0]
+                + 2 * cache.I_parts[r].shape[1] * cache.I_parts[r].shape[0]
+                * dO_parts[r].shape[1]
+                for r in block
+            )
+        )
 
     # Line 14: dW = reduce-scatter_z (weights are Z-sharded).
     dW: dict[int, np.ndarray] = {}

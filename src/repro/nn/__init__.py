@@ -11,7 +11,12 @@ from .optim import (
     clip_grad_norm,
 )
 from .generation import KVCache, decode_step, generate_greedy, prefill
-from .training import MixedPrecisionTrainer, RecoveryReport, train_with_recovery
+from .training import (
+    MixedPrecisionTrainer,
+    RecoveryReport,
+    TrainingReport,
+    train_with_recovery,
+)
 from .transformer import GPT, MLP, Block, CausalSelfAttention, causal_attention
 
 __all__ = [
@@ -33,6 +38,7 @@ __all__ = [
     "CosineSchedule",
     "clip_grad_norm",
     "MixedPrecisionTrainer",
+    "TrainingReport",
     "RecoveryReport",
     "train_with_recovery",
     "KVCache",

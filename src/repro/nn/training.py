@@ -19,16 +19,22 @@ without the master copies, updates smaller than a bf16 ulp would vanish
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
 
+from ..telemetry.spans import get_tracer as _telemetry, traced as _traced
 from ..tensor.dtype import to_bf16
 from .optim import clip_grad_norm
 
-__all__ = ["MixedPrecisionTrainer", "RecoveryReport", "train_with_recovery"]
+__all__ = [
+    "MixedPrecisionTrainer",
+    "TrainingReport",
+    "RecoveryReport",
+    "train_with_recovery",
+]
 
 
 class MixedPrecisionTrainer:
@@ -87,11 +93,15 @@ class MixedPrecisionTrainer:
 
     # -- the step API ----------------------------------------------------------
 
+    @_traced(name="micro_step", cat="train")
     def micro_step(
         self, ids: np.ndarray, loss_mask: np.ndarray | None = None
     ) -> float:
         """Forward/backward one micro-batch; steps the optimizer when the
         accumulation window completes.  Returns the (unscaled) loss."""
+        tel = _telemetry()
+        if tel is not None:
+            tel.metrics.counter("train.micro_steps").add(1)
         if self.bf16:
             masters = self._round_params()
             try:
@@ -108,14 +118,19 @@ class MixedPrecisionTrainer:
             self._micro = 0
             if self.skip_nonfinite and not self._grads_finite():
                 self.skipped_steps += 1
+                if tel is not None:
+                    tel.metrics.counter("train.skipped_steps").add(1)
                 self.model.zero_grad()
                 return loss.item()
             if self.grad_clip is not None:
                 clip_grad_norm(self._params, self.grad_clip)
             self.optimizer.step()
+            if tel is not None:
+                tel.metrics.counter("train.optimizer_steps").add(1)
             self.model.zero_grad()
         return loss.item()
 
+    @_traced(name="train.step", cat="train")
     def step(
         self, ids: np.ndarray, loss_mask: np.ndarray | None = None
     ) -> float:
@@ -148,21 +163,35 @@ class MixedPrecisionTrainer:
 # -- checkpoint-restart recovery ------------------------------------------------
 
 
+def _jsonify(value):
+    """Recursively reduce report field values to JSON-serializable types."""
+    if isinstance(value, Counter):
+        return dict(value)
+    if hasattr(value, "dims"):  # GridConfig and friends
+        return list(value.dims)
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
 @dataclass
-class RecoveryReport:
-    """What :func:`train_with_recovery` did: one loss per *completed*
-    step (restart rollbacks truncate the list, so the final sequence is
-    exactly what an uninterrupted run would have produced), plus restart
-    accounting for the tests and the goodput analysis."""
+class TrainingReport:
+    """Common accounting shared by every resilient-training loop.
+
+    Holds the fields both :class:`RecoveryReport` and
+    :class:`~repro.core.elastic.ElasticReport` need — the loss curve
+    (rollbacks truncate it, so the final sequence matches an
+    uninterrupted run), checkpoint and lost-step counts, and the restart
+    cause histogram — plus one :meth:`to_json` serialization for the
+    goodput analysis and CI artifacts.
+    """
 
     losses: list[float] = field(default_factory=list)
-    #: Successful restarts (fault caught, state reloaded, training resumed).
-    restarts: int = 0
     #: Checkpoints written (including the step-0 checkpoint).
     checkpoint_saves: int = 0
-    #: The step each restart rolled back to, in order.
-    resumed_from: list[int] = field(default_factory=list)
-    #: Steps re-executed because they post-dated the surviving checkpoint.
+    #: Steps re-executed because they post-dated the recovery source.
     steps_lost: int = 0
     #: Restart cause histogram (``"kill"`` / ``"timeout"`` /
     #: ``"corruption"`` / ...), per :func:`repro.runtime.faults.fault_cause`
@@ -172,6 +201,23 @@ class RecoveryReport:
     @property
     def steps(self) -> int:
         return len(self.losses)
+
+    def to_json(self) -> dict:
+        """All dataclass fields (plus ``steps``), JSON-serializable."""
+        out = {f.name: _jsonify(getattr(self, f.name)) for f in fields(self)}
+        out["steps"] = self.steps
+        return out
+
+
+@dataclass
+class RecoveryReport(TrainingReport):
+    """What :func:`train_with_recovery` did: the shared
+    :class:`TrainingReport` accounting plus restart-specific fields."""
+
+    #: Successful restarts (fault caught, state reloaded, training resumed).
+    restarts: int = 0
+    #: The step each restart rolled back to, in order.
+    resumed_from: list[int] = field(default_factory=list)
 
 
 def _split_batch(batch) -> tuple[np.ndarray, np.ndarray | None]:
@@ -185,6 +231,7 @@ def train_with_recovery(
     trainer_factory: Callable[[], MixedPrecisionTrainer],
     batches: Sequence,
     checkpoint_path: str | Path,
+    *,
     checkpoint_interval: int = 1,
     injector=None,
     max_restarts: int = 3,
@@ -253,6 +300,10 @@ def train_with_recovery(
             if injector is None or report.restarts >= max_restarts:
                 raise
             report.restarts += 1
+            tel = _telemetry()
+            if tel is not None:
+                tel.metrics.counter("train.restarts").add(1)
+                tel.metrics.counter("train.steps_lost").add(step - last_saved)
             report.resumed_from.append(last_saved)
             report.steps_lost += step - last_saved
             injector.restart()

@@ -26,6 +26,7 @@ import numpy as np
 
 from .process_group import CollectiveRecord, CommTracer, ProcessGroup
 from . import faults as _faults
+from ..telemetry.spans import get_tracer as _telemetry, traced as _traced
 
 __all__ = [
     "all_reduce",
@@ -67,7 +68,17 @@ def _trace(
     sample: np.ndarray,
     tag: str,
     root: int | None = None,
+    internal: bool = False,
 ) -> None:
+    # Ambient telemetry sees every user-visible collective; the internal
+    # sub-collectives of all_reduce are skipped so op-level byte counters
+    # are not double-counted (the composite already reported).
+    if not internal:
+        tel = _telemetry()
+        if tel is not None:
+            tel.count_collective(
+                op, sample.nbytes, tag=tag, group_size=group.size
+            )
     if tracer is not None:
         tracer.record(
             CollectiveRecord(
@@ -124,6 +135,7 @@ def _flatten_padded(
     return flat, n
 
 
+@_traced(cat="comm")
 def reduce_scatter(
     buffers: Mapping[int, np.ndarray],
     group: ProcessGroup,
@@ -148,7 +160,10 @@ def reduce_scatter(
             f"reduce_scatter: leading dim {sample.shape[0]} not divisible "
             f"by group size {p}"
         )
-    _trace(tracer, "reduce_scatter", group, sample, tag)
+    _trace(
+        tracer, "reduce_scatter", group, sample, tag,
+        internal=injector is _DISABLED,
+    )
     if p == 1:
         return {r: buffers[r].copy() for r in group}
 
@@ -172,6 +187,7 @@ def reduce_scatter(
     return {r: chunks[r][g] for g, r in enumerate(group.ranks)}
 
 
+@_traced(cat="comm")
 def all_gather(
     buffers: Mapping[int, np.ndarray],
     group: ProcessGroup,
@@ -188,7 +204,10 @@ def all_gather(
     buffers = _inject("all_gather", group, buffers, tag, tracer, injector)
     p = group.size
     sample = buffers[group.ranks[0]]
-    _trace(tracer, "all_gather", group, sample, tag)
+    _trace(
+        tracer, "all_gather", group, sample, tag,
+        internal=injector is _DISABLED,
+    )
     if p == 1:
         return {r: buffers[r].copy() for r in group}
 
@@ -214,6 +233,7 @@ def all_gather(
     }
 
 
+@_traced(cat="comm")
 def all_reduce(
     buffers: Mapping[int, np.ndarray],
     group: ProcessGroup,
@@ -232,7 +252,10 @@ def all_reduce(
     buffers = _inject("all_reduce", group, buffers, tag, tracer, injector)
     p = group.size
     sample = buffers[group.ranks[0]]
-    _trace(tracer, "all_reduce", group, sample, tag)
+    _trace(
+        tracer, "all_reduce", group, sample, tag,
+        internal=injector is _DISABLED,
+    )
     if p == 1:
         return {r: buffers[r].copy() for r in group}
 
@@ -244,6 +267,7 @@ def all_reduce(
     }
 
 
+@_traced(cat="comm")
 def broadcast(
     buffers: Mapping[int, np.ndarray],
     group: ProcessGroup,
@@ -260,11 +284,15 @@ def broadcast(
     if root not in group:
         raise ValueError(f"root {root} not in group {group.ranks}")
     buffers = _inject("broadcast", group, buffers, tag, tracer, injector)
-    _trace(tracer, "broadcast", group, buffers[root], tag, root=root)
+    _trace(
+        tracer, "broadcast", group, buffers[root], tag, root=root,
+        internal=injector is _DISABLED,
+    )
     src = buffers[root]
     return {r: src.copy() for r in group}
 
 
+@_traced(cat="comm")
 def all_to_all(
     chunks: Mapping[int, list[np.ndarray]],
     group: ProcessGroup,
@@ -297,6 +325,14 @@ def all_to_all(
         inj = injector if injector is not None else _faults.get_active_injector()
         if inj is not None:
             inj.check_kills("all_to_all", group.ranks, tracer)
+    tel = _telemetry()
+    if tel is not None:
+        tel.count_collective(
+            "all_to_all",
+            max(sum(c.nbytes for c in chunks[r]) for r in group),
+            tag=tag,
+            group_size=p,
+        )
     if tracer is not None:
         nbytes = max(
             sum(c.nbytes for c in chunks[r]) for r in group

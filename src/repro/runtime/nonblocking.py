@@ -10,6 +10,7 @@ with real overlap accounting.
 
 from __future__ import annotations
 
+from contextlib import nullcontext as _nullcontext
 from typing import Callable, Generic, Mapping, TypeVar
 
 import numpy as np
@@ -17,6 +18,7 @@ import numpy as np
 from .process_group import CommTracer, ProcessGroup
 from . import collectives as _coll
 from . import faults as _faults
+from ..telemetry.spans import get_tracer as _telemetry
 
 __all__ = ["Handle", "icoll", "iall_reduce", "ireduce_scatter", "iall_gather"]
 
@@ -60,9 +62,14 @@ class Handle(Generic[T]):
         """
         if self._done:
             raise RuntimeError(f"handle for {self.op!r} waited on twice")
-        inj = _faults.get_active_injector()
-        if inj is not None and self._group is not None:
-            inj.before_wait(self.op, self._group, self.tag)
+        tel = _telemetry()
+        if tel is not None:
+            tel.metrics.counter("comm.nonblocking.waits").add(1)
+        with tel.span(f"wait:{self.op}", cat="comm") if tel is not None \
+                else _nullcontext():
+            inj = _faults.get_active_injector()
+            if inj is not None and self._group is not None:
+                inj.before_wait(self.op, self._group, self.tag)
         self._done = True
         if (
             self._tracer is not None
@@ -92,6 +99,9 @@ def icoll(
 ) -> Handle[dict[int, np.ndarray]]:
     """Issue a collective asynchronously and return its handle."""
     result = fn(buffers, group, tracer=tracer, tag=tag, **kwargs)
+    tel = _telemetry()
+    if tel is not None:
+        tel.metrics.counter("comm.nonblocking.issues").add(1)
     handle_id = None
     if tracer is not None and tracer.enabled:
         handle_id = tracer.next_handle_id()

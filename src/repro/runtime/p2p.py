@@ -16,10 +16,12 @@ import numpy as np
 
 from .process_group import CollectiveRecord, CommTracer, ProcessGroup
 from . import faults as _faults
+from ..telemetry.spans import get_tracer as _telemetry, traced as _traced
 
 __all__ = ["send_recv", "scatter", "gather"]
 
 
+@_traced(cat="comm")
 def send_recv(
     buffer: np.ndarray,
     src: int,
@@ -42,6 +44,9 @@ def send_recv(
     inj = injector if injector is not None else _faults.get_active_injector()
     if inj is not None:
         buffer = inj.before_p2p(src, dst, buffer, tag, tracer=tracer)
+    tel = _telemetry()
+    if tel is not None:
+        tel.count_collective("p2p", buffer.nbytes, tag=tag, group_size=2)
     if tracer is not None:
         tracer.record_p2p(
             src,
@@ -54,6 +59,7 @@ def send_recv(
     return np.array(buffer, copy=True)
 
 
+@_traced(cat="comm")
 def scatter(
     chunks: list[np.ndarray],
     group: ProcessGroup,
@@ -75,6 +81,14 @@ def scatter(
     inj = _faults.get_active_injector()
     if inj is not None:
         inj.check_kills("scatter", group.ranks, tracer)
+    tel = _telemetry()
+    if tel is not None:
+        tel.count_collective(
+            "scatter",
+            int(sum(c.nbytes for c in chunks)),
+            tag=tag,
+            group_size=group.size,
+        )
     if tracer is not None:
         tracer.record(
             CollectiveRecord(
@@ -90,6 +104,7 @@ def scatter(
     return {r: np.array(chunks[i], copy=True) for i, r in enumerate(group.ranks)}
 
 
+@_traced(cat="comm")
 def gather(
     buffers: Mapping[int, np.ndarray],
     group: ProcessGroup,
@@ -111,6 +126,14 @@ def gather(
     inj = _faults.get_active_injector()
     if inj is not None:
         inj.check_kills("gather", group.ranks, tracer)
+    tel = _telemetry()
+    if tel is not None:
+        tel.count_collective(
+            "gather",
+            int(sum(buffers[r].nbytes for r in group)),
+            tag=tag,
+            group_size=group.size,
+        )
     if tracer is not None:
         tracer.record(
             CollectiveRecord(

@@ -40,6 +40,17 @@ class RunMetrics:
     def pflops(self) -> float:
         return self.total_flops / 1e15
 
+    def record_to(self, registry) -> None:
+        """Publish this row into a telemetry
+        :class:`~repro.telemetry.MetricsRegistry` as ``sim.*`` gauges,
+        so simulated and measured runs serialize through the same
+        ``BENCH_*.json`` schema."""
+        registry.gauge("sim.num_gpus").set(self.num_gpus)
+        registry.gauge("sim.batch_time").set(self.batch_time)
+        registry.gauge("sim.total_flops").set(self.total_flops)
+        registry.gauge("sim.pct_advertised_peak").set(self.pct_advertised_peak)
+        registry.gauge("sim.pct_empirical_peak").set(self.pct_empirical_peak)
+
 
 def compute_metrics(
     cfg: GPTConfig,

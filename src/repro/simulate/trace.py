@@ -75,6 +75,32 @@ class Timeline:
                     hidden += hi - lo
         return hidden
 
+    def to_trace_events(self) -> list:
+        """The timeline in the unified telemetry event schema
+        (:class:`repro.telemetry.TraceEvent`): each simulator stream
+        becomes a ``tid`` lane, simulated seconds stay seconds."""
+        from ..telemetry.export import TraceEvent
+
+        return [
+            TraceEvent(
+                name=e.name,
+                start=e.start,
+                duration=e.duration,
+                cat="sim",
+                tid=e.stream,
+                pid="repro.simulate",
+            )
+            for e in self.events
+        ]
+
+    def to_chrome_trace(self) -> dict:
+        """A Chrome ``trace_event`` JSON document of the simulated
+        iteration — one viewer lane per stream, loadable in Perfetto
+        alongside wall-clock runtime traces."""
+        from ..telemetry.export import chrome_trace
+
+        return chrome_trace(self.to_trace_events())
+
     def render(self, width: int = 72) -> str:
         """A text Gantt chart (one row per stream)."""
         span = self.makespan()

@@ -1,0 +1,71 @@
+"""Unified tracing/metrics/profiling for the repro stack.
+
+Three layers, one event schema:
+
+- :mod:`repro.telemetry.spans` — a low-overhead nested span tracer
+  (context-manager + decorator API) that is zero-cost when no tracer is
+  active; instrumented through the runtime collectives, the 3D parallel
+  matmul, the transformer layers, and the training loop.
+- :mod:`repro.telemetry.metrics` — counter/gauge/histogram registry for
+  flops, bytes per collective kind, retries/faults, checkpoint I/O.
+- :mod:`repro.telemetry.export` — Chrome ``trace_event`` JSON (opens in
+  Perfetto / ``chrome://tracing``), flat ``BENCH_*.json`` summaries, and
+  ASCII flamegraphs.  The simulator's :class:`repro.simulate.trace.Timeline`
+  exports through the same :class:`TraceEvent` schema.
+
+Typical profiling session::
+
+    from repro.telemetry import Tracer, telemetry_scope, write_chrome_trace
+
+    tracer = Tracer()
+    with telemetry_scope(tracer):
+        run_training_step()
+    write_chrome_trace("trace.json", tracer)
+    print(tracer.metrics.value("comm.bytes.all_reduce"))
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import (
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    telemetry_scope,
+    traced,
+)
+from .export import (
+    BENCH_SCHEMA,
+    TraceEvent,
+    ascii_flamegraph,
+    bench_summary,
+    chrome_trace,
+    tracer_events,
+    validate_chrome_trace,
+    write_bench_json,
+    write_chrome_trace,
+)
+
+__all__ = [
+    # spans
+    "Span",
+    "Tracer",
+    "traced",
+    "get_tracer",
+    "set_tracer",
+    "telemetry_scope",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    # export
+    "TraceEvent",
+    "tracer_events",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "bench_summary",
+    "write_bench_json",
+    "BENCH_SCHEMA",
+    "ascii_flamegraph",
+]

@@ -1,0 +1,157 @@
+"""Counter/gauge/histogram metrics registry.
+
+The numeric side of the telemetry subsystem: collectives report bytes
+moved per op kind and per tag, the functional matmuls report flops, the
+training loop reports steps/restarts, and checkpoint I/O reports bytes
+written and read.  Everything lands in one flat, name-keyed
+:class:`MetricsRegistry` that serializes to the ``BENCH_*.json`` summary
+schema (see :mod:`repro.telemetry.export`).
+
+Metric names are dotted paths by convention (``comm.bytes.all_reduce``,
+``train.optimizer_steps``, ``ckpt.bytes_written``); the registry itself
+imposes no schema beyond unique names per instrument kind.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing sum (bytes, calls, flops, ...)."""
+
+    name: str
+    value: float = 0.0
+
+    def add(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins instantaneous value (batch time, efficiency)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Power-of-two bucketed distribution with exact count/sum/min/max.
+
+    Buckets hold values in ``(2^(i-1), 2^i]`` (bucket 0 holds values
+    <= 1), which is plenty for the latency/size distributions traced
+    here while staying allocation-free on the hot path.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    def record(self, value: float) -> None:
+        v = float(value)
+        if v < 0:
+            raise ValueError(f"histogram {self.name}: negative value {v}")
+        self.count += 1
+        self.total += v
+        self.min = min(self.min, v)
+        self.max = max(self.max, v)
+        b = 0 if v <= 1.0 else math.ceil(math.log2(v))
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed instruments, created on first use.
+
+    A name belongs to exactly one instrument kind; asking for the same
+    name as a different kind raises (silent type confusion would corrupt
+    the bench summaries).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind):
+        m = self._metrics.get(name)
+        if m is None:
+            m = kind(name)
+            self._metrics[name] = m
+        elif not isinstance(m, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(m).__name__}, not {kind.__name__}"
+            )
+        return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """The scalar value of a counter/gauge (``default`` if absent)."""
+        m = self._metrics.get(name)
+        if m is None:
+            return default
+        if isinstance(m, Histogram):
+            raise TypeError(f"metric {name!r} is a histogram; use summary()")
+        return m.value
+
+    def with_prefix(self, prefix: str) -> dict[str, float]:
+        """Scalar metrics under a dotted prefix, keys relative to it."""
+        cut = len(prefix) + 1
+        return {
+            name[cut:]: m.value
+            for name, m in sorted(self._metrics.items())
+            if name.startswith(prefix + ".") and not isinstance(m, Histogram)
+        }
+
+    def as_dict(self) -> dict[str, float | dict]:
+        """Flat serializable view: scalars for counters/gauges, a
+        summary dict for histograms — the ``metrics`` block of the
+        ``BENCH_*.json`` schema."""
+        out: dict[str, float | dict] = {}
+        for name, m in sorted(self._metrics.items()):
+            out[name] = m.summary() if isinstance(m, Histogram) else m.value
+        return out
+
+    def clear(self) -> None:
+        self._metrics.clear()

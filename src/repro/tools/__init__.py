@@ -1,1 +1,70 @@
-"""Command-line tools: configuration planning and memory reporting."""
+"""Command-line tools behind one dispatcher.
+
+Every tool is a subcommand of ``python -m repro.tools``::
+
+    python -m repro.tools plan GPT-20B 1024 frontier
+    python -m repro.tools memory GPT-80B 2,1,128,32 frontier
+    python -m repro.tools trace GPT-20B 2,1,8,8 frontier --out trace.json
+    python -m repro.tools goodput GPT-20B 1024 --seed 0
+    python -m repro.tools profile run --config tiny --out bench_out
+    python -m repro.tools sweep GPT-20B 1024 frontier
+    python -m repro.tools reproduce
+    python -m repro.tools gen-api-docs --out docs/API.md
+    python -m repro.tools regen-goldens
+
+The historical per-module entry points
+(``python -m repro.tools.memory_report`` and friends) still work but
+emit a :class:`DeprecationWarning`; they forward here unchanged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import warnings
+from importlib import import_module
+
+__all__ = ["main", "SUBCOMMANDS"]
+
+#: subcommand -> (module under repro.tools, one-line help)
+SUBCOMMANDS = {
+    "plan": ("plan", "rank 4D grid configurations for a model/machine"),
+    "memory": ("memory_report", "per-device memory breakdown for a grid"),
+    "trace": ("trace_view", "text Gantt chart of a simulated iteration"),
+    "goodput": ("goodput_report", "checkpoint-interval & recovery report"),
+    "profile": ("profile_run", "profile a small run under telemetry"),
+    "sweep": ("sweep", "sweep grids through the simulator"),
+    "reproduce": ("reproduce", "regenerate the paper's headline tables"),
+    "gen-api-docs": ("gen_api_docs", "regenerate docs/API.md"),
+    "regen-goldens": ("regen_goldens", "regenerate golden schedule traces"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools",
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="subcommands:\n" + "\n".join(
+            f"  {name:<14}{help_}" for name, (_, help_) in SUBCOMMANDS.items()
+        ),
+    )
+    parser.add_argument("subcommand", choices=sorted(SUBCOMMANDS))
+    parser.add_argument(
+        "rest", nargs=argparse.REMAINDER,
+        help="arguments forwarded to the subcommand",
+    )
+    args = parser.parse_args(argv)
+    module_name, _ = SUBCOMMANDS[args.subcommand]
+    module = import_module(f".{module_name}", __name__)
+    return module.main(args.rest)
+
+
+def _deprecated_entry(module_name: str, subcommand: str, main_fn, argv=None):
+    """Shared ``__main__`` shim for the historical per-module CLIs."""
+    warnings.warn(
+        f"python -m repro.tools.{module_name} is deprecated; use "
+        f"python -m repro.tools {subcommand}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return main_fn(argv)

@@ -1,0 +1,6 @@
+"""``python -m repro.tools`` entry point."""
+
+from . import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

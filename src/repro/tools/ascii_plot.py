@@ -7,7 +7,7 @@ model-rank-vs-observed-time scatter, weak-scaling curves, and so on.
 
 from __future__ import annotations
 
-__all__ = ["scatter", "line_chart"]
+__all__ = ["scatter", "line_chart", "flamegraph"]
 
 
 def _scale(values: list[float], length: int) -> list[int]:
@@ -77,4 +77,34 @@ def line_chart(
         f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(series)
     )
     lines.append(f" {legend}")
+    return "\n".join(lines)
+
+
+def flamegraph(frames: dict[str, float], width: int = 72) -> str:
+    """An indented text flamegraph from ``{"root;child;leaf": seconds}``
+    frames — the shape :meth:`repro.telemetry.Tracer.by_path` returns.
+
+    Each line shows one stack path (indented by depth), a bar scaled to
+    its share of root time, and the absolute time.
+    """
+    if not frames:
+        return "(no spans)"
+    items = sorted(frames.items(), key=lambda kv: kv[0].split(";"))
+    root_total = sum(t for p, t in frames.items() if ";" not in p)
+    total = root_total or max(frames.values()) or 1.0
+    labels = [
+        "  " * p.count(";") + p.rsplit(";", 1)[-1] for p, _ in items
+    ]
+    label_w = max(len(lbl) for lbl in labels)
+    bar_w = max(8, width - label_w - 22)
+    lines = []
+    for lbl, (path, secs) in zip(labels, items):
+        frac = min(1.0, secs / total)
+        filled = round(frac * bar_w)
+        if secs > 0 and filled == 0:
+            filled = 1
+        lines.append(
+            f"{lbl:<{label_w}} |{'#' * filled:<{bar_w}}| "
+            f"{secs * 1e3:10.3f} ms {frac * 100:5.1f}%"
+        )
     return "\n".join(lines)

@@ -10,9 +10,10 @@ expectation.
 
 Usage::
 
-    python -m repro.tools.goodput_report MODEL GPUS [MACHINE ...]
+    python -m repro.tools goodput MODEL GPUS [MACHINE ...]
         [--node-mtbf-hours H] [--restart S] [--iter-time S] [--seed N]
         [--replacement-wait S] [--reshard-time S] [--comm-penalty F]
+        [--out DIR]
 
 Besides the checkpoint-interval sweep, the report compares the two
 recovery strategies at the optimal interval: **elastic continuation**
@@ -60,7 +61,7 @@ def _report(
     replacement_wait: float,
     reshard_time: float | None,
     comm_penalty: float,
-) -> None:
+) -> dict[str, float]:
     machine = get_machine(machine_name)
     cfg = get_model(model_name)
     nodes = max(1, num_gpus // machine.gpus_per_node)
@@ -127,6 +128,20 @@ def _report(
         f"-> {cmp.winner} wins by {cmp.advantage:.3f}"
     )
     print()
+    return {
+        "goodput.ckpt_time_s": ckpt,
+        "goodput.job_mtbf_s": mtbf,
+        "goodput.young_daly_interval_s": yd,
+        "goodput.optimal_interval_s": emp,
+        "goodput.expected_at_optimum": expected_goodput(
+            emp, ckpt, fm.restart_time, mtbf
+        ),
+        "goodput.replay": out.goodput,
+        "goodput.replay_failures": out.failures,
+        "goodput.replay_checkpoints": out.checkpoints,
+        "goodput.elastic": cmp.elastic_goodput,
+        "goodput.restart_and_wait": cmp.restart_goodput,
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -166,6 +181,10 @@ def main(argv: list[str] | None = None) -> int:
         "--comm-penalty", type=float, default=0.05,
         help="extra efficiency loss of the shrunken grid, in [0, 1)",
     )
+    parser.add_argument(
+        "--out", default=None,
+        help="also write BENCH_goodput_<machine>.json to this directory",
+    )
     args = parser.parse_args(argv)
 
     fm = FailureModel(
@@ -175,7 +194,7 @@ def main(argv: list[str] | None = None) -> int:
         straggler_slowdown=args.straggler_slowdown,
     )
     for machine_name in args.machines:
-        _report(
+        metrics = _report(
             args.model,
             args.gpus,
             machine_name,
@@ -186,8 +205,25 @@ def main(argv: list[str] | None = None) -> int:
             args.reshard_time,
             args.comm_penalty,
         )
+        if args.out:
+            from ..telemetry import write_bench_json
+
+            path = write_bench_json(
+                args.out,
+                f"goodput_{machine_name}",
+                metrics,
+                meta={
+                    "model": args.model,
+                    "gpus": args.gpus,
+                    "machine": machine_name,
+                    "seed": args.seed,
+                },
+            )
+            print(f"  wrote {path}\n")
     return 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    from . import _deprecated_entry
+
+    raise SystemExit(_deprecated_entry("goodput_report", "goodput", main))

@@ -2,12 +2,12 @@
 
 Usage::
 
-    python -m repro.tools.memory_report MODEL GX,GY,GZ,GDATA MACHINE
-        [--batch N] [--no-checkpointing]
+    python -m repro.tools memory MODEL GX,GY,GZ,GDATA MACHINE
+        [--batch N] [--no-checkpointing] [--out DIR]
 
 Example::
 
-    python -m repro.tools.memory_report GPT-80B 2,1,128,32 frontier
+    python -m repro.tools memory GPT-80B 2,1,128,32 frontier
 
 Prints the per-device memory breakdown (weights, gradients, optimizer
 state, activations, workspace) for training a model on a 4D grid, and
@@ -44,6 +44,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("machine")
     parser.add_argument("--batch", type=int, default=None)
     parser.add_argument("--no-checkpointing", action="store_true")
+    parser.add_argument(
+        "--out", default=None,
+        help="also write the breakdown as BENCH_memory.json to this directory",
+    )
     args = parser.parse_args(argv)
 
     cfg = get_model(args.model)
@@ -71,8 +75,28 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\n  device capacity: {cap:.0f} GB -> {verdict}")
     best = max_batch_per_replica(cfg, args.grid, machine, checkpointing=ck)
     print(f"  largest per-replica batch that fits: {best}")
+    if args.out:
+        from ..telemetry import write_bench_json
+
+        path = write_bench_json(
+            args.out,
+            "memory",
+            {f"mem.bytes.{label.split(' ')[0]}": val for label, val in rows},
+            meta={
+                "model": cfg.name,
+                "grid": list(args.grid.dims),
+                "machine": machine.name,
+                "batch": batch,
+                "checkpointing": ck,
+                "fits": m.fits(machine),
+                "max_batch_per_replica": best,
+            },
+        )
+        print(f"  wrote {path}")
     return 0 if m.fits(machine) else 1
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    from . import _deprecated_entry
+
+    raise SystemExit(_deprecated_entry("memory_report", "memory", main))

@@ -1,0 +1,224 @@
+"""Profile a small 4D-parallel training run under telemetry.
+
+Usage::
+
+    python -m repro.tools profile run --config tiny [--out DIR]
+        [--seed N] [--steps N] [--name NAME] [--max-overhead-pct F]
+
+Runs ``steps`` forward/loss passes of a small :class:`ParallelGPT`
+under an active :class:`repro.telemetry.Tracer` and emits:
+
+* ``<out>/trace_<name>.json`` — Chrome ``trace_event`` JSON, loadable
+  in ``chrome://tracing`` / Perfetto;
+* ``<out>/BENCH_<name>.json`` — the flat benchmark summary (span
+  timings, byte/call counters, telemetry overhead);
+* an ASCII flamegraph of the span hierarchy on stdout.
+
+Two cross-checks back the artifacts:
+
+1. the traced per-tag collective bytes must equal the analytic volumes
+   from :func:`repro.perfmodel.gpt_forward_backward_volumes`;
+2. with ``--max-overhead-pct``, the enabled-vs-disabled wall-clock
+   overhead of telemetry must stay under the bound (the bench-smoke CI
+   gate).
+
+A failed check makes the exit status non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import time
+
+import numpy as np
+
+from ..config import GPTConfig
+from ..core import Grid4D, GridConfig, ParallelGPT
+from ..nn import GPT
+from ..perfmodel import gpt_forward_backward_volumes
+from ..telemetry import (
+    Tracer,
+    ascii_flamegraph,
+    telemetry_scope,
+    write_bench_json,
+    write_chrome_trace,
+)
+
+__all__ = ["main", "profile", "PRESETS"]
+
+#: Named (gx, gy, gz, gdata) grids the profiler knows how to size a
+#: model for.  Dimensions follow the divisibility rules the parallel
+#: layers require (hidden % gx*gy*gz == 0, heads % gx == 0, ...).
+PRESETS = {
+    "tiny": (2, 1, 1, 1),
+    "smoke": (2, 2, 1, 1),
+}
+
+
+def _preset_model(config: str) -> tuple[GPTConfig, GridConfig, int]:
+    """A GPT sized to shard cleanly on the preset grid, plus the batch."""
+    gx, gy, gz, gdata = PRESETS[config]
+    cfg = GPTConfig(
+        name=f"profile-{config}",
+        num_layers=2,
+        hidden_size=8 * gx * gy * gz,
+        num_heads=2 * gx,
+        seq_len=8,
+        vocab_size=16 * gx,
+    )
+    return cfg, GridConfig(gx, gy, gz, gdata), 2 * gz
+
+
+def _time_loss(model: ParallelGPT, ids: np.ndarray, steps: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        model.loss(ids)
+    return time.perf_counter() - t0
+
+
+def profile(
+    config: str,
+    *,
+    steps: int = 3,
+    seed: int = 0,
+    out: str = "bench_out",
+    name: str | None = None,
+    width: int = 72,
+    max_overhead_pct: float | None = None,
+    repeats: int = 3,
+) -> int:
+    """Run the profile; returns a process exit status (0 = all good)."""
+    name = name or config
+    cfg, grid_cfg, batch = _preset_model(config)
+    grid = Grid4D(GridConfig(grid_cfg.gx, grid_cfg.gy, grid_cfg.gz))
+    model = ParallelGPT.from_serial(GPT(cfg, seed=seed), grid)
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(0, cfg.vocab_size, (batch, cfg.seq_len - 1))
+
+    # Metrics pass: one tracer owns the spans and counters we export.
+    model.loss(ids)  # warm-up outside the scope
+    tracer = Tracer()
+    with telemetry_scope(tracer):
+        for _ in range(steps):
+            model.loss(ids)
+
+    # Overhead: best-of-N wall clock, telemetry off vs on (fresh,
+    # throwaway tracers so the metrics pass above stays clean).
+    t_off = min(_time_loss(model, ids, steps) for _ in range(repeats))
+    t_on = []
+    for _ in range(repeats):
+        with telemetry_scope(Tracer()):
+            t_on.append(_time_loss(model, ids, steps))
+    t_on = min(t_on)
+    overhead_pct = (t_on - t_off) / t_off * 100.0 if t_off > 0 else 0.0
+
+    # Cross-check: traced bytes vs the analytic forward volumes.  Each
+    # loss() call communicates exactly one forward's worth of bytes
+    # (backward materializes as autograd accumulation, untraced).
+    vol = gpt_forward_backward_volumes(
+        cfg, batch, grid.config, dtype_bytes=8, seq_len=ids.shape[1] - 1
+    )
+    val = tracer.metrics.value
+    checks = {
+        "ag_z": (val("comm.tag_bytes.linear.AG_z"), steps * vol.ag_z),
+        "ar_fwd": (
+            val("comm.tag_bytes.linear.AR_x")
+            + val("comm.tag_bytes.linear.AR_y"),
+            steps * vol.ar_fwd,
+        ),
+    }
+    volume_ok = all(
+        math.isclose(traced, analytic, rel_tol=1e-9, abs_tol=1e-6)
+        for traced, analytic in checks.values()
+    )
+
+    g = tracer.metrics.gauge
+    g("profile.steps").set(steps)
+    g("profile.time_enabled_s").set(t_on)
+    g("profile.time_disabled_s").set(t_off)
+    g("profile.overhead_pct").set(overhead_pct)
+
+    meta = {
+        "config": config,
+        "grid": list(grid_cfg.dims),
+        "model": cfg.name,
+        "batch": batch,
+        "seed": seed,
+        "volume_check": {
+            k: {"traced": traced, "analytic": analytic}
+            for k, (traced, analytic) in checks.items()
+        },
+        "volume_ok": volume_ok,
+    }
+    trace_path = write_chrome_trace(
+        f"{out}/trace_{name}.json", tracer, metadata=meta
+    )
+    bench_path = write_bench_json(out, name, tracer, meta)
+
+    print(
+        f"profiled {cfg.name} on {grid_cfg}: {steps} step(s), "
+        f"batch {batch}, seed {seed}"
+    )
+    print(
+        f"  telemetry overhead: {overhead_pct:+.1f}% "
+        f"(on {t_on * 1e3:.1f} ms vs off {t_off * 1e3:.1f} ms, "
+        f"best of {repeats})"
+    )
+    for k, (traced, analytic) in checks.items():
+        mark = "==" if volume_ok else "!="
+        print(f"  bytes[{k}]: traced {traced:.0f} {mark} analytic {analytic:.0f}")
+    print(f"  wrote {trace_path}")
+    print(f"  wrote {bench_path}")
+    print()
+    print(ascii_flamegraph(tracer, width=width))
+
+    status = 0
+    if not volume_ok:
+        print("FAIL: traced bytes disagree with analytic volumes")
+        status = 1
+    if max_overhead_pct is not None and overhead_pct > max_overhead_pct:
+        print(
+            f"FAIL: telemetry overhead {overhead_pct:.1f}% exceeds "
+            f"--max-overhead-pct {max_overhead_pct:.1f}%"
+        )
+        status = 1
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools profile", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    run = sub.add_parser("run", help="profile a small 4D-parallel run")
+    run.add_argument(
+        "--config", choices=sorted(PRESETS), default="tiny",
+        help="preset grid/model size (default: tiny)",
+    )
+    run.add_argument("--out", default="bench_out", help="artifact directory")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--steps", type=int, default=3)
+    run.add_argument(
+        "--name", default=None,
+        help="bench name for BENCH_<name>.json (default: the config name)",
+    )
+    run.add_argument("--width", type=int, default=72)
+    run.add_argument(
+        "--max-overhead-pct", type=float, default=None,
+        help="fail (exit 1) if telemetry overhead exceeds this percentage",
+    )
+    args = parser.parse_args(argv)
+    return profile(
+        args.config,
+        steps=args.steps,
+        seed=args.seed,
+        out=args.out,
+        name=args.name,
+        width=args.width,
+        max_overhead_pct=args.max_overhead_pct,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,7 +33,7 @@ from ..runtime import (
 )
 from ..tensor import Tensor
 
-__all__ = ["GOLDEN_SCENARIOS", "build_schedule", "golden_dir", "regen_all"]
+__all__ = ["GOLDEN_SCENARIOS", "build_schedule", "golden_dir", "regen_all", "main"]
 
 
 def _tiny_cfg(num_layers: int = 1) -> GPTConfig:
@@ -140,5 +140,21 @@ def regen_all(out_dir: Path | None = None, verbose: bool = True) -> list[Path]:
     return written
 
 
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.tools regen-goldens", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--out", default=None, help="golden directory (default: tests/golden)"
+    )
+    args = parser.parse_args(argv)
+    regen_all(Path(args.out) if args.out else None)
+    return 0
+
+
 if __name__ == "__main__":
-    regen_all()
+    from . import _deprecated_entry
+
+    raise SystemExit(_deprecated_entry("regen_goldens", "regen-goldens", main))

@@ -136,4 +136,6 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    from . import _deprecated_entry
+
+    raise SystemExit(_deprecated_entry("reproduce", "reproduce", main))

@@ -99,4 +99,6 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    from . import _deprecated_entry
+
+    raise SystemExit(_deprecated_entry("sweep", "sweep", main))

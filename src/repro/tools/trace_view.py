@@ -2,12 +2,16 @@
 
 Usage::
 
-    python -m repro.tools.trace_view MODEL GX,GY,GZ,GDATA MACHINE
-        [--batch N] [--no-overlap] [--no-tuning] [--width W]
+    python -m repro.tools trace MODEL GX,GY,GZ,GDATA MACHINE
+        [--batch N] [--no-overlap] [--no-tuning] [--width W] [--out PATH]
 
 Example::
 
-    python -m repro.tools.trace_view GPT-20B 2,1,8,8 frontier --batch 256
+    python -m repro.tools trace GPT-20B 2,1,8,8 frontier --batch 256
+
+With ``--out`` the simulated timeline is also written as Chrome
+``trace_event`` JSON (via :mod:`repro.telemetry`), loadable in
+``chrome://tracing`` / Perfetto.
 
 Renders the simulated iteration as a text Gantt chart (one row per
 compute/communication stream) plus the timing breakdown — the
@@ -47,6 +51,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-overlap", action="store_true")
     parser.add_argument("--no-tuning", action="store_true")
     parser.add_argument("--width", type=int, default=72)
+    parser.add_argument(
+        "--out", default=None,
+        help="also write the timeline as Chrome trace JSON to this path",
+    )
     args = parser.parse_args(argv)
 
     cfg = get_model(args.model)
@@ -73,8 +81,24 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  exposed comm    {result.exposed_comm_time:9.4f} s")
     print(f"  raw comm        {result.raw_comm_time:9.4f} s")
     print(f"  hidden comm     {timeline.overlap_seconds():9.4f} s")
+    if args.out:
+        from ..telemetry import write_chrome_trace
+
+        path = write_chrome_trace(
+            args.out,
+            timeline.to_trace_events(),
+            metadata={
+                "model": cfg.name,
+                "grid": list(args.grid.dims),
+                "machine": machine.name,
+                "batch": batch,
+            },
+        )
+        print(f"\n  wrote {path}")
     return 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    from . import _deprecated_entry
+
+    raise SystemExit(_deprecated_entry("trace_view", "trace", main))

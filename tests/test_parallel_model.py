@@ -19,7 +19,7 @@ from repro.core import (
     ParallelGPT,
     ParallelLayerNorm,
     ParallelLinear,
-    init,
+    axonn_init,
     permute_qkv_columns,
     vocab_parallel_cross_entropy,
 )
@@ -407,14 +407,14 @@ class TestParallelGPTEquivalence:
 
 class TestFacade:
     def test_init_and_parallelize(self):
-        ctx = init(2, 1, 2, 1)
+        ctx = axonn_init(2, 1, 2, 1)
         cfg = tiny_config()
         model = ctx.parallelize(cfg)
         ids = batch_for(cfg, b=2, s=5)
         assert np.isfinite(model.loss(ids).item())
 
     def test_init_with_machine_placement(self):
-        ctx = init(2, 2, 2, 1, machine="frontier")
+        ctx = axonn_init(2, 2, 2, 1, machine="frontier")
         assert ctx.placement is not None
         assert ctx.placement.num_gpus == 8
 

@@ -20,10 +20,14 @@ PACKAGES = [
     "repro.pipeline",
     "repro.moe",
     "repro.memorization",
+    "repro.telemetry",
+    "repro.tools",
     "repro.tools.plan",
     "repro.tools.memory_report",
     "repro.tools.trace_view",
     "repro.tools.reproduce",
+    "repro.tools.profile_run",
+    "repro.tools.goodput_report",
 ]
 
 
@@ -76,3 +80,98 @@ def test_every_docstringed_module():
     for name in PACKAGES:
         mod = importlib.import_module(name)
         assert mod.__doc__ and mod.__doc__.strip(), f"{name} lacks a docstring"
+
+
+class TestFacade:
+    def test_star_import_matches_all(self):
+        import repro
+
+        ns = {}
+        exec("from repro import *", ns)
+        missing = [n for n in repro.__all__ if n not in ns]
+        assert not missing, f"star-import missing {missing}"
+
+    def test_blessed_entry_points_are_the_canonical_objects(self):
+        import repro
+        import repro.core
+        import repro.nn.training as training
+        import repro.telemetry as telemetry
+
+        assert repro.train_with_recovery is training.train_with_recovery
+        assert repro.train_elastic is repro.core.train_elastic
+        assert repro.TrainingReport is training.TrainingReport
+        assert repro.Tracer is telemetry.Tracer
+        assert repro.telemetry_scope is telemetry.telemetry_scope
+
+    def test_subpackages_declare_all(self):
+        for name in PACKAGES:
+            mod = importlib.import_module(name)
+            assert getattr(mod, "__all__", None), f"{name} lacks __all__"
+
+
+class TestDeprecationShims:
+    @pytest.mark.parametrize("module", ["repro", "repro.core"])
+    def test_old_init_resolves_and_warns_exactly_once(self, module):
+        import warnings
+
+        mod = importlib.import_module(module)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            obj = mod.init
+        assert obj is mod.axonn_init
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "axonn_init" in str(deprecations[0].message)
+
+    def test_old_name_not_in_all(self):
+        import repro
+        import repro.core
+
+        assert "init" not in repro.__all__
+        assert "init" not in repro.core.__all__
+
+    @pytest.mark.parametrize("module", ["repro", "repro.core"])
+    def test_unknown_attribute_still_raises(self, module):
+        mod = importlib.import_module(module)
+        with pytest.raises(AttributeError):
+            mod.definitely_not_a_symbol
+
+
+class TestSignatureContracts:
+    def test_train_with_recovery_tuning_params_keyword_only(self):
+        from repro import train_with_recovery
+
+        with pytest.raises(TypeError):
+            train_with_recovery(lambda: None, [], "x.npz", 1)
+
+    def test_train_elastic_tuning_params_keyword_only(self):
+        from repro import train_elastic
+        from repro.core import GridConfig
+
+        with pytest.raises(TypeError):
+            train_elastic(lambda c: None, GridConfig(1, 1, 1), [], None)
+
+    def test_checkpoint_save_flags_keyword_only(self):
+        import inspect
+
+        from repro.core import save_checkpoint, save_training_state
+
+        for fn in (save_checkpoint, save_training_state):
+            params = inspect.signature(fn).parameters
+            assert params["atomic"].kind is inspect.Parameter.KEYWORD_ONLY
+            assert params["injector"].kind is inspect.Parameter.KEYWORD_ONLY
+
+    def test_reports_share_base_and_to_json(self):
+        from repro import ElasticReport, RecoveryReport, TrainingReport
+
+        assert issubclass(RecoveryReport, TrainingReport)
+        assert issubclass(ElasticReport, TrainingReport)
+        rep = RecoveryReport(losses=[1.0, 0.5], restarts=2)
+        doc = rep.to_json()
+        assert doc["steps"] == 2
+        assert doc["restarts"] == 2
+        import json
+
+        json.dumps(doc)  # round-trips through JSON

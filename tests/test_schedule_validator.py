@@ -17,7 +17,7 @@ import numpy as np
 import pytest
 
 from repro.config import GPTConfig
-from repro.core import Grid4D, GridConfig, ParallelGPT, check_scheme_trace, init
+from repro.core import Grid4D, GridConfig, ParallelGPT, check_scheme_trace, axonn_init
 from repro.runtime import (
     CommEvent,
     CommTracer,
@@ -72,7 +72,7 @@ class TestCleanSchedules:
         assert "rank 1" in str(e.value)
 
     def test_facade_validate(self):
-        ctx = init(2, 1, 2, 1)
+        ctx = axonn_init(2, 1, 2, 1)
         model = ctx.parallelize(tiny_cfg())
         model.loss(np.random.default_rng(0).integers(0, 32, (2, 5))).backward()
         assert ctx.validate_schedule() == []

@@ -105,3 +105,122 @@ class TestApiDocsGenerator:
             mod = importlib.import_module(name)
             for sym in getattr(mod, "__all__", []):
                 assert f"`{sym}`" in text
+
+    def test_covers_new_subsystems(self):
+        from repro.tools.gen_api_docs import PACKAGES
+
+        assert "repro.telemetry" in PACKAGES
+        assert "repro.tools" in PACKAGES
+
+
+class TestDispatcher:
+    def test_every_subcommand_resolves_to_a_main(self):
+        import importlib
+
+        from repro.tools import SUBCOMMANDS
+
+        for sub, (module_name, _) in SUBCOMMANDS.items():
+            mod = importlib.import_module(f"repro.tools.{module_name}")
+            assert callable(mod.main), f"{sub} -> {module_name} lacks main()"
+
+    def test_dispatch_forwards_argv(self, capsys):
+        from repro.tools import main
+
+        rc = main(["memory", "GPT-5B", "1,1,8,1", "frontier", "--batch", "8"])
+        assert rc == 0
+        assert "FITS" in capsys.readouterr().out
+
+    def test_unknown_subcommand_rejected(self):
+        from repro.tools import main
+
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_deprecated_entry_warns_and_forwards(self, capsys):
+        from repro.tools import _deprecated_entry, memory_report
+
+        with pytest.warns(DeprecationWarning, match="repro.tools memory"):
+            rc = _deprecated_entry(
+                "memory_report", "memory", memory_report.main,
+                ["GPT-5B", "1,1,8,1", "frontier", "--batch", "8"],
+            )
+        assert rc == 0
+
+
+class TestProfileRun:
+    def test_profile_run_tiny_emits_artifacts(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import BENCH_SCHEMA, validate_chrome_trace
+        from repro.tools import profile_run
+
+        rc = profile_run.main(
+            ["run", "--config", "tiny", "--out", str(tmp_path),
+             "--steps", "2", "--name", "unit"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "telemetry overhead" in out
+        assert "==" in out  # volume cross-check printed as equal
+
+        trace = json.loads((tmp_path / "trace_unit.json").read_text())
+        assert validate_chrome_trace(trace) == []
+        assert trace["otherData"]["volume_ok"] is True
+
+        bench = json.loads((tmp_path / "BENCH_unit.json").read_text())
+        assert bench["schema"] == BENCH_SCHEMA
+        assert bench["metrics"]["comm.calls.all_reduce"] > 0
+        assert bench["metrics"]["profile.steps"] == 2
+        # Byte counters in the artifact equal the analytic volumes.
+        check = bench["meta"]["volume_check"]
+        for entry in check.values():
+            assert entry["traced"] == pytest.approx(entry["analytic"])
+
+    def test_requires_subcommand(self):
+        from repro.tools import profile_run
+
+        with pytest.raises(SystemExit):
+            profile_run.main([])
+
+    def test_absurd_overhead_gate_fails(self, tmp_path, capsys):
+        from repro.tools import profile_run
+
+        rc = profile_run.main(
+            ["run", "--config", "tiny", "--out", str(tmp_path),
+             "--steps", "1", "--max-overhead-pct", "-1000"]
+        )
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestOutFlags:
+    def test_trace_view_out_writes_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import validate_chrome_trace
+        from repro.tools import trace_view
+
+        out = tmp_path / "sim.json"
+        rc = trace_view.main(
+            ["GPT-5B", "1,1,4,2", "frontier", "--batch", "16",
+             "--out", str(out)]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["machine"] == "frontier"
+        tids = {e["tid"] for e in doc["traceEvents"]}
+        assert "compute" in tids
+
+    def test_memory_report_out_writes_bench_json(self, tmp_path):
+        import json
+
+        from repro.tools import memory_report
+
+        memory_report.main(
+            ["GPT-5B", "1,1,8,1", "frontier", "--batch", "8",
+             "--out", str(tmp_path)]
+        )
+        doc = json.loads((tmp_path / "BENCH_memory.json").read_text())
+        assert doc["metrics"]["mem.bytes.total"] > 0
+        assert doc["meta"]["fits"] is True
