@@ -56,6 +56,8 @@ from .nn import (
     TrainingReport,
     train_with_recovery,
 )
+from .perfmodel import AlgorithmChoice, choose_algorithm
+from .runtime import collective_policy_scope
 from .telemetry import (
     MetricsRegistry,
     Tracer,
@@ -86,6 +88,10 @@ __all__ = [
     "ParallelGPT",
     "ParallelMLP",
     "ACTIVATIONS",
+    # collective algorithm selection
+    "AlgorithmChoice",
+    "choose_algorithm",
+    "collective_policy_scope",
     # training loops and their reports
     "MixedPrecisionTrainer",
     "TrainingReport",

@@ -10,6 +10,8 @@ from .machine import (
     get_machine,
 )
 from .network import (
+    INTER_NODE_LATENCY,
+    INTRA_NODE_LATENCY,
     Ring,
     build_ring,
     inter_node_edges,
@@ -34,4 +36,6 @@ __all__ = [
     "inter_node_edges",
     "ring_bottleneck_bandwidth",
     "shared_ring_bandwidths",
+    "INTER_NODE_LATENCY",
+    "INTRA_NODE_LATENCY",
 ]

@@ -32,7 +32,15 @@ __all__ = [
     "inter_node_edges",
     "ring_bottleneck_bandwidth",
     "shared_ring_bandwidths",
+    "INTER_NODE_LATENCY",
+    "INTRA_NODE_LATENCY",
 ]
+
+#: Per-ring-step message latencies (seconds): NIC traversal vs NVLink.
+#: Canonical values shared by the discrete-event simulator and the
+#: analytic algorithm selector (:mod:`repro.perfmodel.hierarchical`).
+INTER_NODE_LATENCY = 20e-6
+INTRA_NODE_LATENCY = 5e-6
 
 
 @dataclass(frozen=True)

@@ -40,6 +40,12 @@ class AxoNN:
             model_cfg = get_model(model_cfg)
         return ParallelGPT(self.grid, model_cfg, seed=seed)
 
+    def collective_scope(self):
+        """Activate the grid's ``collective_algo`` policy (see
+        :meth:`repro.core.Grid4D.collective_scope`); no-op for
+        ``"flat"``."""
+        return self.grid.collective_scope()
+
     def validate_schedule(self) -> list[Violation]:
         """Run the SPMD schedule validator over everything traced so far."""
         return validate_schedule(self.tracer)
@@ -58,18 +64,30 @@ def init(
     gdata: int = 1,
     machine: str | MachineSpec | None = None,
     trace: bool = True,
+    collective_algo: str = "flat",
 ) -> AxoNN:
     """Initialize a 4D-parallel context (the `axonn.init` analogue).
 
     When ``machine`` is given, a block placement of the grid's
     ``gx*gy*gz*gdata`` devices on that machine is attached, enabling the
     performance layers; otherwise the context is purely functional.
+
+    ``collective_algo`` (``"flat"`` | ``"hierarchical"`` | ``"auto"``)
+    picks how node-straddling collectives execute; activate it around
+    model code with ``with ctx.collective_scope(): ...``.  The non-flat
+    algorithms need ``machine`` — the decomposition is defined by the
+    node topology.
     """
-    cfg = GridConfig(gx, gy, gz, gdata)
+    cfg = GridConfig(gx, gy, gz, gdata, collective_algo=collective_algo)
     placement = None
     if machine is not None:
         spec = get_machine(machine) if isinstance(machine, str) else machine
         placement = Placement(spec, cfg.total)
+    elif collective_algo != "flat":
+        raise ValueError(
+            f"collective_algo={collective_algo!r} needs machine= (the "
+            "node topology decides the decomposition)"
+        )
     tracer = CommTracer(enabled=trace)
     grid = Grid4D(cfg, placement=placement, tracer=tracer)
     return AxoNN(grid=grid, placement=placement, tracer=tracer)

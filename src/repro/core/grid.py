@@ -14,7 +14,8 @@ worked example in Section V-B.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, field
 from itertools import product
 
 from ..cluster import Placement
@@ -25,20 +26,38 @@ __all__ = ["GridConfig", "Grid4D", "enumerate_grid_configs"]
 #: Names of the four axes in hierarchy order (innermost first).
 AXES = ("x", "y", "z", "data")
 
+#: Legal values of :attr:`GridConfig.collective_algo`.
+COLLECTIVE_ALGOS = ("flat", "hierarchical", "auto")
+
 
 @dataclass(frozen=True)
 class GridConfig:
-    """Sizes of the four parallel dimensions, ``(G_x, G_y, G_z, G_data)``."""
+    """Sizes of the four parallel dimensions, ``(G_x, G_y, G_z, G_data)``.
+
+    ``collective_algo`` selects how node-straddling collectives execute:
+    ``"flat"`` (single ring, the default), ``"hierarchical"`` (two-level
+    intra-node + leaders decomposition whenever the group straddles
+    nodes), or ``"auto"`` (per-collective analytic selection via
+    :func:`repro.perfmodel.choose_algorithm`).  The knob is execution
+    policy, not grid geometry, so it is excluded from equality/hashing —
+    two configs with the same dims are the same grid.
+    """
 
     gx: int
     gy: int
     gz: int
     gdata: int = 1
+    collective_algo: str = field(default="flat", compare=False)
 
     def __post_init__(self) -> None:
         for axis, g in zip(AXES, self.dims):
             if g < 1:
                 raise ValueError(f"G_{axis} must be >= 1, got {g}")
+        if self.collective_algo not in COLLECTIVE_ALGOS:
+            raise ValueError(
+                f"collective_algo must be one of {COLLECTIVE_ALGOS}, "
+                f"got {self.collective_algo!r}"
+            )
 
     @property
     def dims(self) -> tuple[int, int, int, int]:
@@ -56,7 +75,10 @@ class GridConfig:
     def swapped_xy(self) -> "GridConfig":
         """The configuration with X and Y roles exchanged (the
         'transpose' applied to every other layer)."""
-        return GridConfig(self.gy, self.gx, self.gz, self.gdata)
+        return GridConfig(
+            self.gy, self.gx, self.gz, self.gdata,
+            collective_algo=self.collective_algo,
+        )
 
     def __str__(self) -> str:
         return f"(Gx={self.gx}, Gy={self.gy}, Gz={self.gz}, Gdata={self.gdata})"
@@ -84,7 +106,29 @@ class Grid4D:
                 f"grid {config} needs {config.total} GPUs but placement "
                 f"has {placement.num_gpus}"
             )
+        if config.collective_algo != "flat" and placement is None:
+            raise ValueError(
+                f"collective_algo={config.collective_algo!r} needs a "
+                "placement (the node topology decides the decomposition)"
+            )
         self._group_cache: dict[tuple[str, int], ProcessGroup] = {}
+
+    def collective_scope(self):
+        """Context manager activating this grid's collective-algorithm
+        policy; a no-op for the default ``"flat"`` algorithm.
+
+        Collectives issued inside the ``with`` block whose group
+        straddles nodes route through the two-level implementations of
+        :mod:`repro.runtime.hierarchical` (always for
+        ``"hierarchical"``, per the analytic model for ``"auto"``).
+        """
+        if self.config.collective_algo == "flat" or self.placement is None:
+            return nullcontext(None)
+        from ..runtime.hierarchical import collective_policy_scope
+
+        return collective_policy_scope(
+            self.placement, self.config.collective_algo
+        )
 
     # -- coordinate arithmetic ---------------------------------------------
 

@@ -18,11 +18,7 @@ from dataclasses import dataclass
 
 from ..cluster import MachineSpec
 from ..kernels import GemmModel
-from ..simulate.network_sim import (
-    INTER_NODE_LATENCY,
-    INTRA_NODE_LATENCY,
-    congestion_factor,
-)
+from ..simulate.network_sim import span_link
 
 __all__ = ["MoEPerfResult", "all_to_all_time", "simulate_moe_layer"]
 
@@ -35,12 +31,9 @@ def all_to_all_time(
     """Seconds for a personalized all-to-all of ``bytes_per_rank`` each."""
     if p <= 1:
         return 0.0
-    if num_nodes <= 1:
-        beta = machine.intra_node_bw
-        alpha = INTRA_NODE_LATENCY
-    else:
-        beta = machine.inter_node_bw / congestion_factor(num_nodes)
-        alpha = INTER_NODE_LATENCY
+    # network_sim.span_link owns the intra/inter split and the (single)
+    # congestion charge for multi-node spans.
+    beta, alpha = span_link(machine, num_nodes)
     return (p - 1) / p * bytes_per_rank / beta + (p - 1) * alpha
 
 

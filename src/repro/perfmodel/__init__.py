@@ -2,6 +2,12 @@
 
 from .bandwidth import BandwidthDatabase, case2_bandwidth, effective_bandwidths
 from .configs import RankedConfig, feasible, rank_configurations
+from .hierarchical import (
+    AlgorithmChoice,
+    choose_algorithm,
+    flat_time,
+    hierarchical_time,
+)
 from .model import (
     CommBreakdown,
     LayerShape,
@@ -19,6 +25,7 @@ from .ring import (
     all_reduce_time,
     broadcast_time,
     reduce_scatter_time,
+    ring_wire_bytes,
 )
 
 __all__ = [
@@ -26,6 +33,11 @@ __all__ = [
     "reduce_scatter_time",
     "all_reduce_time",
     "broadcast_time",
+    "ring_wire_bytes",
+    "AlgorithmChoice",
+    "choose_algorithm",
+    "flat_time",
+    "hierarchical_time",
     "BandwidthDatabase",
     "effective_bandwidths",
     "case2_bandwidth",

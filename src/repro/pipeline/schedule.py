@@ -27,7 +27,7 @@ from ..cluster import MachineSpec
 from ..config import GPTConfig
 from ..kernels import GemmModel
 from ..perfmodel.ring import all_reduce_time
-from ..simulate.network_sim import INTER_NODE_LATENCY, congestion_factor
+from ..simulate.network_sim import span_link
 from .partition import partition_layers
 
 __all__ = [
@@ -184,9 +184,13 @@ def simulate_pipeline_iteration(
 
     # --- pipeline schedule ----------------------------------------------
     slot = stage_fwd_comp + tp_fwd_comm + stage_bwd_comp + tp_bwd_comm
+    # Congestion is owned by network_sim.span_link: a single-node job
+    # stays on the intra-node fabric (NVLink bandwidth and latency) and
+    # never pays the dragonfly congestion charge, a multi-node job gets
+    # the congestion-degraded NIC aggregate exactly once.
     nodes = machine.num_nodes(config.total)
-    congested = machine.inter_node_bw / congestion_factor(nodes)
-    p2p_per_boundary = act_bytes / congested + INTER_NODE_LATENCY
+    p2p_bw, p2p_lat = span_link(machine, nodes)
+    p2p_per_boundary = act_bytes / p2p_bw + p2p_lat
     # Each microbatch crosses (pp-1) boundaries twice (activation fwd,
     # gradient bwd); interleaving multiplies the crossings by the number
     # of virtual chunks.  Transfers pipeline behind compute except at
@@ -201,7 +205,7 @@ def simulate_pipeline_iteration(
 
     # --- data-parallel all-reduce over each stage's gradients -----------
     grad_bytes = cfg.num_parameters() * layers_per_stage / cfg.num_layers / config.tp * BF16
-    dp_bw = machine.inter_node_bw / congestion_factor(nodes)
+    dp_bw, _ = span_link(machine, nodes)
     dp_time = all_reduce_time(grad_bytes, config.dp, dp_bw)
 
     total = pipeline_time + dp_time

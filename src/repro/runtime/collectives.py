@@ -98,6 +98,19 @@ def _trace(
 #: is the user-visible fault site, and must consult the injector once.
 _DISABLED = object()
 
+#: Active hierarchical collective policies (innermost last), managed by
+#: :func:`repro.runtime.hierarchical.collective_policy_scope`.  The list
+#: lives here so the hot path pays one truthiness check when no policy
+#: is installed.
+_POLICIES: list = []
+
+
+def _hier_route(op: str, group: ProcessGroup, nbytes: int):
+    """The two-level implementation the active policy elects, or None."""
+    from . import hierarchical as _hier
+
+    return _hier.route(op, group, nbytes, _POLICIES[-1])
+
 
 def _inject(
     op: str,
@@ -151,6 +164,14 @@ def reduce_scatter(
     ``g`` receives the fully reduced ``g``-th shard (split along axis 0).
     """
     _check_buffers(buffers, group)
+    if _POLICIES and injector is not _DISABLED:
+        hier = _hier_route(
+            "reduce_scatter", group, buffers[group.ranks[0]].nbytes
+        )
+        if hier is not None:
+            return hier(
+                buffers, group, op=op, tracer=tracer, tag=tag, injector=injector
+            )
     buffers = _inject("reduce_scatter", group, buffers, tag, tracer, injector)
     p = group.size
     reduce_fn = REDUCE_OPS[op]
@@ -201,6 +222,12 @@ def all_gather(
     group members concatenated along axis 0 in group order.
     """
     _check_buffers(buffers, group)
+    if _POLICIES and injector is not _DISABLED:
+        hier = _hier_route("all_gather", group, buffers[group.ranks[0]].nbytes)
+        if hier is not None:
+            return hier(
+                buffers, group, tracer=tracer, tag=tag, injector=injector
+            )
     buffers = _inject("all_gather", group, buffers, tag, tracer, injector)
     p = group.size
     sample = buffers[group.ranks[0]]
@@ -249,6 +276,12 @@ def all_reduce(
     constraint applies.
     """
     _check_buffers(buffers, group)
+    if _POLICIES and injector is not _DISABLED:
+        hier = _hier_route("all_reduce", group, buffers[group.ranks[0]].nbytes)
+        if hier is not None:
+            return hier(
+                buffers, group, op=op, tracer=tracer, tag=tag, injector=injector
+            )
     buffers = _inject("all_reduce", group, buffers, tag, tracer, injector)
     p = group.size
     sample = buffers[group.ranks[0]]
@@ -278,18 +311,48 @@ def broadcast(
 ) -> dict[int, np.ndarray]:
     """Broadcast ``root``'s buffer to every rank in the group.
 
-    ``root`` is a *global* rank that must belong to the group.
+    ``root`` is a *global* rank that must belong to the group.  Executed
+    as the large-message scatter–allgather (van de Geijn) algorithm the
+    analytic :func:`repro.perfmodel.broadcast_time` prices: the root
+    scatters ``1/p`` of the (flattened, padded) buffer to each rank,
+    then a ring all-gather reassembles it — each rank forwards
+    ``2 (p-1)/p`` of the payload in total, matching the traced byte
+    volume to the cost model.
     """
     _check_buffers(buffers, group)
     if root not in group:
         raise ValueError(f"root {root} not in group {group.ranks}")
+    if _POLICIES and injector is not _DISABLED:
+        hier = _hier_route("broadcast", group, buffers[root].nbytes)
+        if hier is not None:
+            return hier(
+                buffers, group, root=root, tracer=tracer, tag=tag,
+                injector=injector,
+            )
     buffers = _inject("broadcast", group, buffers, tag, tracer, injector)
     _trace(
         tracer, "broadcast", group, buffers[root], tag, root=root,
         internal=injector is _DISABLED,
     )
     src = buffers[root]
-    return {r: src.copy() for r in group}
+    p = group.size
+    if p == 1:
+        return {r: src.copy() for r in group}
+    # Scatter phase: flatten/pad the root's buffer and hand group
+    # position g its g-th shard (p-1 root sends of 1/p each).
+    flat = np.ravel(src)
+    pad = (-flat.size) % p
+    if pad:
+        flat = np.concatenate([flat, np.zeros(pad, dtype=flat.dtype)])
+    shard = flat.size // p
+    shards = {
+        r: flat[g * shard : (g + 1) * shard].copy()
+        for g, r in enumerate(group.ranks)
+    }
+    # All-gather phase reassembles the full buffer on every rank.
+    gathered = all_gather(shards, group, injector=_DISABLED)
+    n = src.size
+    return {r: gathered[r][:n].reshape(src.shape) for r in group}
 
 
 @_traced(cat="comm")

@@ -35,12 +35,18 @@ from ..config import GPTConfig
 from ..core.grid import Grid4D, GridConfig
 from ..kernels import GemmModel, MatmulOp, tune_matmuls
 from ..perfmodel.model import LayerShape, gpt_layer_shapes
+from ..perfmodel.hierarchical import hierarchical_time
 from ..perfmodel.ring import (
     all_gather_time,
     all_reduce_time,
     reduce_scatter_time,
 )
-from .network_sim import LinkTiming, group_timings
+from .network_sim import (
+    HierTiming,
+    LinkTiming,
+    group_timings,
+    hierarchical_group_timings,
+)
 
 __all__ = ["OverlapFlags", "IterationResult", "simulate_iteration", "baseline_config"]
 
@@ -84,6 +90,10 @@ class IterationResult:
     config: GridConfig
     tuning_speedup: float = 1.0
     details: dict[str, float] = field(default_factory=dict)
+    #: Per-axis collective algorithm actually used: "flat",
+    #: "hierarchical", "mixed" (auto chose per message size), or "n/a"
+    #: (size-1 axis, nothing to communicate).
+    algo_choices: dict[str, str] = field(default_factory=dict)
 
 
 def _jitter(key: str, amplitude: float) -> float:
@@ -147,18 +157,62 @@ def _memory_bound_overheads(
     return elementwise, optimizer
 
 
+_FLAT_TIME_FNS = {
+    "all_gather": all_gather_time,
+    "reduce_scatter": reduce_scatter_time,
+    "all_reduce": all_reduce_time,
+}
+
+
+def _timed_collective(
+    op: str,
+    nbytes: float,
+    p: int,
+    link: LinkTiming,
+    hier: HierTiming | None,
+    algo: str,
+    tally: dict[str, int] | None,
+) -> float:
+    """Duration of one collective under the selected algorithm.
+
+    ``algo="hierarchical"`` always takes the two-level path when the
+    group decomposes (``hier`` is not None); ``"auto"`` takes whichever
+    of the two measured timings is cheaper.  ``tally`` counts the picks
+    so the per-axis choice can be reported.
+    """
+    t_flat = _FLAT_TIME_FNS[op](nbytes, p, link.bandwidth, link.latency)
+    if algo == "flat" or hier is None or p <= 1:
+        return t_flat
+    t_hier = hierarchical_time(
+        op, nbytes, hier.L, hier.Q,
+        hier.intra.bandwidth, hier.leaders.bandwidth,
+        hier.intra.latency, hier.leaders.latency,
+    )
+    pick_hier = algo == "hierarchical" or t_hier < t_flat
+    if tally is not None:
+        tally["hierarchical" if pick_hier else "flat"] += 1
+    return t_hier if pick_hier else t_flat
+
+
 def _collective_times(
     layer: LayerShape,
     config: GridConfig,
     timings: dict[str, LinkTiming],
+    hier_timings: dict[str, HierTiming | None] | None = None,
+    algo: str = "flat",
+    tallies: dict[str, dict[str, int]] | None = None,
 ) -> dict[str, float]:
     """Durations of the five collectives of Algorithm 1 for one layer,
-    using simulator-measured bandwidths and latencies."""
+    using simulator-measured bandwidths and latencies (two-level ones
+    when the algorithm policy elects them)."""
+    ht = hier_timings or {}
     gx, gy = config.gx, config.gy
     tx, ty = timings["x"], timings["y"]
+    ax, ay = "x", "y"
     if layer.transposed:
         gx, gy = gy, gx
         tx, ty = ty, tx
+        ax, ay = ay, ax
     gz, gd = config.gz, config.gdata
     tz, td = timings["z"], timings["data"]
     m, k, n = layer.m, layer.k, layer.n
@@ -168,11 +222,22 @@ def _collective_times(
     out_block = m * n / (gz * gx) * DTYPE_BYTES
     in_block = m * k / (gz * gy) * DTYPE_BYTES
 
+    def tally_for(axis: str) -> dict[str, int] | None:
+        return tallies.setdefault(axis, {"flat": 0, "hierarchical": 0}) if tallies is not None else None
+
     return {
-        "ag_z": all_gather_time(shard, gz, tz.bandwidth, tz.latency),
-        "rs_z": reduce_scatter_time(block, gz, tz.bandwidth, tz.latency),
-        "ar_fwd": all_reduce_time(out_block, gy, ty.bandwidth, ty.latency),
-        "ar_bwd": all_reduce_time(in_block, gx, tx.bandwidth, tx.latency),
+        "ag_z": _timed_collective(
+            "all_gather", shard, gz, tz, ht.get("z"), algo, tally_for("z")
+        ),
+        "rs_z": _timed_collective(
+            "reduce_scatter", block, gz, tz, ht.get("z"), algo, tally_for("z")
+        ),
+        "ar_fwd": _timed_collective(
+            "all_reduce", out_block, gy, ty, ht.get(ay), algo, tally_for(ay)
+        ),
+        "ar_bwd": _timed_collective(
+            "all_reduce", in_block, gx, tx, ht.get(ax), algo, tally_for(ax)
+        ),
         "dp_shard_bytes": shard,
     }
 
@@ -191,6 +256,7 @@ def simulate_iteration(
     placement_strategy: str = "block",
     compute_slowdown: float = 1.0,
     comm_slowdown: float = 1.0,
+    collective_algo: str | None = None,
 ) -> IterationResult:
     """Simulate one training iteration and return its timing breakdown.
 
@@ -204,6 +270,10 @@ def simulate_iteration(
     and communication streams respectively — a straggler node throttled
     on clocks or sharing a congested switch slows *every* rank in the
     SPMD program to its pace (see :mod:`repro.simulate.failures`).
+    ``collective_algo`` (``"flat"`` | ``"hierarchical"`` | ``"auto"``)
+    overrides ``config.collective_algo`` for pricing node-straddling
+    collectives; the per-axis outcome is reported in
+    :attr:`IterationResult.algo_choices`.
     """
     if global_batch % config.gdata:
         raise ValueError(
@@ -211,9 +281,18 @@ def simulate_iteration(
         )
     if compute_slowdown < 1.0 or comm_slowdown < 1.0:
         raise ValueError("slowdown factors must be >= 1")
+    algo = collective_algo if collective_algo is not None else config.collective_algo
+    if algo not in ("flat", "hierarchical", "auto"):
+        raise ValueError(
+            f"collective_algo must be 'flat', 'hierarchical' or 'auto', got {algo!r}"
+        )
     placement = Placement(machine, config.total, strategy=placement_strategy)
     grid = Grid4D(config, placement=placement)
     timings = group_timings(grid, placement)
+    hier_timings = (
+        hierarchical_group_timings(grid, placement) if algo != "flat" else {}
+    )
+    tallies: dict[str, dict[str, int]] = {}
     gemm = GemmModel(machine)
     batch_per_group = global_batch // config.gdata
     layers = gpt_layer_shapes(cfg, batch_per_group)
@@ -258,7 +337,7 @@ def simulate_iteration(
             bc += 2.0 * attn_fwd  # attention backward ~ 2x forward
         fwd_c.append(fc)
         bwd_c.append(bc)
-        c = _collective_times(layer, config, timings)
+        c = _collective_times(layer, config, timings, hier_timings, algo, tallies)
         if comm_slowdown != 1.0:
             c = {
                 k: v * comm_slowdown if k != "dp_shard_bytes" else v
@@ -350,8 +429,14 @@ def simulate_iteration(
     t = max(comp_t, *comm.values())
     td = timings["data"]
     dp_bytes = sum(c["dp_shard_bytes"] for c in colls)
-    dp_time = comm_slowdown * all_reduce_time(
-        dp_bytes, config.gdata, td.bandwidth, td.latency
+    dp_tally = (
+        tallies.setdefault("data", {"flat": 0, "hierarchical": 0})
+        if config.gdata > 1
+        else None
+    )
+    dp_time = comm_slowdown * _timed_collective(
+        "all_reduce", dp_bytes, config.gdata, td,
+        (hier_timings or {}).get("data"), algo, dp_tally,
     )
     if dp_time > 0:
         emit("comm.data", "grad.AR_data", t, t + dp_time)
@@ -369,6 +454,19 @@ def simulate_iteration(
         key += f"|{run_salt}"
     total *= _jitter(key, noise)
     total = max(total, compute_total)
+
+    algo_choices: dict[str, str] = {}
+    for axis, size in zip(("x", "y", "z", "data"), config.dims):
+        if size <= 1:
+            algo_choices[axis] = "n/a"
+            continue
+        tally = tallies.get(axis)
+        if tally is None or tally["hierarchical"] == 0:
+            algo_choices[axis] = "flat"
+        elif tally["flat"] == 0:
+            algo_choices[axis] = "hierarchical"
+        else:
+            algo_choices[axis] = "mixed"
     return IterationResult(
         total_time=total,
         compute_time=compute_total,
@@ -380,6 +478,7 @@ def simulate_iteration(
             "dp_time": dp_time,
             "attention_fwd_per_block": attn_fwd,
         },
+        algo_choices=algo_choices,
     )
 
 

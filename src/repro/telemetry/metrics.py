@@ -61,14 +61,19 @@ class Histogram:
     buckets: dict[int, int] = field(default_factory=dict)
 
     def record(self, value: float) -> None:
+        # Validate before touching any state: a NaN/inf must not leave
+        # count/total/min/max mutated with no bucket to match (the
+        # instrument would silently disagree with itself forever after).
         v = float(value)
+        if not math.isfinite(v):
+            raise ValueError(f"histogram {self.name}: non-finite value {v}")
         if v < 0:
             raise ValueError(f"histogram {self.name}: negative value {v}")
+        b = 0 if v <= 1.0 else math.ceil(math.log2(v))
         self.count += 1
         self.total += v
         self.min = min(self.min, v)
         self.max = max(self.max, v)
-        b = 0 if v <= 1.0 else math.ceil(math.log2(v))
         self.buckets[b] = self.buckets.get(b, 0) + 1
 
     @property

@@ -41,6 +41,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("machine", help="perlmutter | frontier | alps")
     parser.add_argument("--batch", type=int, default=None, help="global batch (sequences)")
     parser.add_argument("--top", type=int, default=10, help="configurations to show")
+    parser.add_argument(
+        "--collective-algo",
+        choices=("flat", "hierarchical", "auto"),
+        default="auto",
+        help="collective algorithm policy priced by the simulator "
+        "(default: auto, pick flat vs two-level per collective)",
+    )
     args = parser.parse_args(argv)
 
     cfg = get_model(args.model)
@@ -58,21 +65,26 @@ def main(argv: list[str] | None = None) -> int:
 
     header = (
         f"{'#':<4}{'config':<34}{'pred comm':<12}{'batch time':<12}"
-        f"{'mem/GPU':<10}{'Tflop/s/GPU':<12}"
+        f"{'mem/GPU':<10}{'Tflop/s/GPU':<12}{'algo x/y/z/d':<16}"
     )
     print(header)
     print("-" * len(header))
+    short = {"flat": "flat", "hierarchical": "hier", "mixed": "mixed", "n/a": "-"}
     for i, cand in enumerate(ranked[: args.top], start=1):
         sim = simulate_iteration(
             cfg, batch, cand.config, machine,
             overlap=OverlapFlags.all(), kernel_tuning=True,
+            collective_algo=args.collective_algo,
         )
         mem = estimate_memory(cfg, cand.config, batch // cand.config.gdata)
         per_gpu = sustained_flops(cfg, batch, sim.total_time) / args.num_gpus
+        algos = "/".join(
+            short[sim.algo_choices.get(ax, "n/a")] for ax in ("x", "y", "z", "data")
+        )
         print(
             f"{i:<4}{str(cand.config):<34}"
             f"{cand.predicted_time:<12.4f}{sim.total_time:<12.4f}"
-            f"{mem.total / 1e9:<10.1f}{per_gpu / 1e12:<12.1f}"
+            f"{mem.total / 1e9:<10.1f}{per_gpu / 1e12:<12.1f}{algos:<16}"
         )
     return 0
 

@@ -20,6 +20,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..cluster import GPUSpec, MachineSpec, Placement
 from ..config import GPTConfig
 from ..core import Grid4D, GridConfig, ParallelGPT, make_degenerate_grid
 from ..moe import MoELayer
@@ -63,6 +64,33 @@ def _scenario_axonn_4d() -> CommTracer:
     return _gpt_step(grid, batch=4)
 
 
+def _scenario_axonn_4d_hier() -> CommTracer:
+    """The 4D scenario's schedule under two-level collectives.
+
+    A toy 2-GPUs-per-node machine makes the X groups of a
+    ``(Gx=4, Gy=1, Gz=2)`` grid straddle two nodes (L=2 members per
+    node, Q=2 nodes), so every X all-reduce decomposes into the
+    ``|hier.*`` sub-collectives this golden pins.
+    """
+    machine = MachineSpec(
+        name="golden-2pn",
+        gpu=GPUSpec("toy", 1e15, 5e14, 4e10),
+        gpus_per_node=2,
+        intra_node_bw=1e11,
+        inter_node_bw=1e11,
+        total_gpus=64,
+    )
+    placement = Placement(machine, 8)
+    tracer = CommTracer()
+    grid = Grid4D(
+        GridConfig(4, 1, 2, 1, collective_algo="hierarchical"),
+        placement=placement,
+        tracer=tracer,
+    )
+    with grid.collective_scope():
+        return _gpt_step(grid, batch=4)
+
+
 def _scenario_fsdp() -> CommTracer:
     tracer = CommTracer()
     grid = make_degenerate_grid("fsdp", 4, tracer=tracer)
@@ -102,6 +130,7 @@ def _scenario_moe() -> CommTracer:
 #: Scenario name -> zero-argument builder returning the recorded tracer.
 GOLDEN_SCENARIOS = {
     "axonn_4d": _scenario_axonn_4d,
+    "axonn_4d_hier": _scenario_axonn_4d_hier,
     "fsdp": _scenario_fsdp,
     "megatron": _scenario_megatron,
     "pipeline": _scenario_pipeline,

@@ -249,3 +249,66 @@ class TestInterleavedSchedule:
                 cfg, 64, PipelineConfig(tp=8, pp=2, dp=1), FRONTIER,
                 virtual_stages=0,
             )
+
+
+class TestCongestionOwnership:
+    """The dragonfly congestion charge is owned by
+    :func:`repro.simulate.network_sim.span_link` — the pipeline model
+    must apply it exactly once, and never to single-node jobs."""
+
+    def test_single_node_job_uses_intra_node_fabric(self):
+        """Regression: an 8-GPU Frontier job fits on one node, so its
+        data-parallel all-reduce and p2p transfers run over Infinity
+        Fabric (50 GB/s), not the NIC aggregate (100 GB/s).  The old
+        model charged inter-node bandwidth and NIC latency."""
+        from repro.perfmodel.ring import all_reduce_time
+        from repro.pipeline.schedule import BF16
+
+        cfg = get_model("GPT-5B")
+        pc = PipelineConfig(tp=2, pp=2, dp=2)
+        assert FRONTIER.num_nodes(pc.total) == 1
+        r = simulate_pipeline_iteration(cfg, 64, pc, FRONTIER, num_microbatches=8)
+        grad_bytes = cfg.num_parameters() / 2 / pc.tp * BF16  # 2 stages
+        expected_dp = all_reduce_time(grad_bytes, pc.dp, FRONTIER.intra_node_bw)
+        assert r.dp_time == pytest.approx(expected_dp)
+        # Pre-fix value (inter-node bw, 2x faster on Frontier) must NOT
+        # be what we get.
+        wrong_dp = all_reduce_time(grad_bytes, pc.dp, FRONTIER.inter_node_bw)
+        assert r.dp_time != pytest.approx(wrong_dp)
+
+    def test_multi_node_job_charges_congestion_once(self):
+        """Cross-check: dp/p2p times equal a manual composition from
+        span_link — i.e. exactly one congestion division, no more."""
+        from repro.perfmodel.ring import all_reduce_time
+        from repro.pipeline.schedule import BF16
+        from repro.simulate.network_sim import span_link
+
+        cfg = get_model("GPT-20B")
+        pc = PipelineConfig(tp=8, pp=4, dp=4)  # 128 GPUs = 16 nodes
+        nodes = FRONTIER.num_nodes(pc.total)
+        assert nodes > 1
+        r = simulate_pipeline_iteration(cfg, 128, pc, FRONTIER, num_microbatches=8)
+
+        bw, lat = span_link(FRONTIER, nodes)
+        grad_bytes = (
+            cfg.num_parameters() * 8 / cfg.num_layers / pc.tp * BF16
+        )  # 8 layers on the largest stage
+        assert r.dp_time == pytest.approx(all_reduce_time(grad_bytes, pc.dp, bw))
+
+        micro = 128 // pc.dp // 8
+        act_bytes = micro * cfg.seq_len * cfg.hidden_size * BF16
+        expected_p2p = 2 * (pc.pp - 1) * (act_bytes / bw + lat)
+        assert r.p2p_time == pytest.approx(expected_p2p)
+
+    def test_moe_all_to_all_single_vs_multi_node(self):
+        from repro.moe.schedule import all_to_all_time
+        from repro.simulate.network_sim import span_link
+
+        payload = 1 << 20
+        t_intra = all_to_all_time(payload, 8, FRONTIER, num_nodes=1)
+        t_inter = all_to_all_time(payload, 8, FRONTIER, num_nodes=8)
+        # Frontier: intra 50 GB/s vs congested inter ~100 GB/s, but NIC
+        # latency dominates small payloads; just pin the composition.
+        for t, nodes in ((t_intra, 1), (t_inter, 8)):
+            beta, alpha = span_link(FRONTIER, nodes)
+            assert t == pytest.approx(7 / 8 * payload / beta + 7 * alpha)

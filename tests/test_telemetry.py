@@ -187,6 +187,32 @@ class TestMetricsRegistry:
         with pytest.raises(TypeError):
             m.gauge("x")
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_histogram_rejects_non_finite(self, bad):
+        """Regression: ``record(nan)`` used to blow up *after* mutating
+        count/total/min/max (and ``record(inf)`` raised OverflowError
+        from the bucket math), leaving the instrument corrupted."""
+        m = MetricsRegistry()
+        h = m.histogram("h")
+        h.record(2.0)
+        with pytest.raises(ValueError):
+            h.record(bad)
+        # The failed record must leave no trace in any field.
+        assert h.count == 1
+        assert h.total == 2.0
+        assert h.min == 2.0
+        assert h.max == 2.0
+        assert sum(h.buckets.values()) == 1
+
+    def test_histogram_negative_leaves_state_untouched(self):
+        m = MetricsRegistry()
+        h = m.histogram("h")
+        h.record(3.0)
+        with pytest.raises(ValueError):
+            h.record(-1.0)
+        assert (h.count, h.total, h.min, h.max) == (1, 3.0, 3.0, 3.0)
+        assert sum(h.buckets.values()) == 1
+
     def test_count_collective_accumulates(self):
         tr = Tracer()
         tr.count_collective("all_reduce", 64, tag="t", group_size=4)
