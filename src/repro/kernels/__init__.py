@@ -7,7 +7,14 @@ from .flops import (
     sustained_flops,
 )
 from .gemm import MODES, GemmMode, GemmModel
-from .tuner import TRANSPOSE_OVERHEAD, MatmulOp, TunedPlan, tune_matmuls
+from .tuner import (
+    TRANSPOSE_OVERHEAD,
+    MatmulOp,
+    TunedPlan,
+    clear_tuner_cache,
+    tune_matmuls,
+    tune_matmuls_cached,
+)
 
 __all__ = [
     "GemmModel",
@@ -16,6 +23,8 @@ __all__ = [
     "MatmulOp",
     "TunedPlan",
     "tune_matmuls",
+    "tune_matmuls_cached",
+    "clear_tuner_cache",
     "TRANSPOSE_OVERHEAD",
     "flops_per_iteration",
     "flops_per_token",

@@ -26,6 +26,7 @@ against the discrete-event simulator (Fig. 2-style) in
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 from typing import Sequence
@@ -52,6 +53,8 @@ __all__ = [
     "flat_time",
     "hierarchical_time",
     "choose_algorithm",
+    "cached_choose_algorithm",
+    "clear_choice_cache",
 ]
 
 #: Ops the two-level decomposition covers.
@@ -187,3 +190,41 @@ def choose_algorithm(
     )
     algo = "hierarchical" if t_hier < t_flat else "flat"
     return AlgorithmChoice(op, nbytes, algo, t_flat, t_hier, L=dec.L, Q=dec.Q)
+
+
+@functools.lru_cache(maxsize=16384)
+def _cached_choice(
+    op: str,
+    nbytes: float,
+    ranks: tuple[int, ...],
+    placement: Placement,
+    alpha_intra: float,
+    alpha_inter: float,
+) -> AlgorithmChoice:
+    return choose_algorithm(op, nbytes, ranks, placement, alpha_intra, alpha_inter)
+
+
+def cached_choose_algorithm(
+    op: str,
+    nbytes: float,
+    ranks: Sequence[int],
+    placement: Placement,
+    alpha_intra: float = INTRA_NODE_LATENCY,
+    alpha_inter: float = INTER_NODE_LATENCY,
+) -> AlgorithmChoice:
+    """Memoized :func:`choose_algorithm`.
+
+    The selector is a pure function of ``(op, nbytes, group, placement,
+    alphas)``, and a training step asks it the same question once per
+    identical layer — a GPT stack's repeated blocks collapse to a
+    handful of distinct keys.  Used by the runtime router so traced
+    iterations don't rebuild rings per collective call.
+    """
+    return _cached_choice(
+        op, float(nbytes), tuple(ranks), placement, alpha_intra, alpha_inter
+    )
+
+
+def clear_choice_cache() -> None:
+    """Drop the algorithm-selection memo."""
+    _cached_choice.cache_clear()

@@ -190,7 +190,9 @@ def route(op: str, group: ProcessGroup, nbytes: int, policy: CollectivePolicy):
     if policy.algo == "auto":
         selector = policy.selector
         if selector is None:
-            from ..perfmodel.hierarchical import choose_algorithm as selector
+            # Memoized: a traced iteration asks the same (op, bytes,
+            # group) question once per identical layer.
+            from ..perfmodel.hierarchical import cached_choose_algorithm as selector
         choice = selector(op, nbytes, group.ranks, policy.placement)
         if getattr(choice, "algo", choice) != "hierarchical":
             return None

@@ -21,10 +21,12 @@ from .failures import (
     simulate_run,
     young_daly_interval,
 )
+from .engine import ENGINES, clear_caches, deterministic_jitter
 from .memory import MemoryBreakdown, estimate_memory, max_batch_per_replica
 from .metrics import (
     RunMetrics,
     compute_metrics,
+    events_per_second,
     strong_scaling_efficiency,
     time_to_solution_days,
     weak_scaling_efficiency,
@@ -67,8 +69,12 @@ __all__ = [
     "MemoryBreakdown",
     "estimate_memory",
     "max_batch_per_replica",
+    "ENGINES",
+    "clear_caches",
+    "deterministic_jitter",
     "RunMetrics",
     "compute_metrics",
+    "events_per_second",
     "weak_scaling_efficiency",
     "strong_scaling_efficiency",
     "time_to_solution_days",

@@ -27,13 +27,12 @@ Section V-B assumes away.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 
 from ..cluster import MachineSpec, Placement
 from ..config import GPTConfig
 from ..core.grid import Grid4D, GridConfig
-from ..kernels import GemmModel, MatmulOp, tune_matmuls
+from ..kernels import GemmModel, MatmulOp, tune_matmuls, tune_matmuls_cached
 from ..perfmodel.model import LayerShape, gpt_layer_shapes
 from ..perfmodel.hierarchical import hierarchical_time
 from ..perfmodel.ring import (
@@ -41,6 +40,7 @@ from ..perfmodel.ring import (
     all_reduce_time,
     reduce_scatter_time,
 )
+from .engine import ENGINES, deterministic_jitter
 from .network_sim import (
     HierTiming,
     LinkTiming,
@@ -94,15 +94,15 @@ class IterationResult:
     #: "hierarchical", "mixed" (auto chose per message size), or "n/a"
     #: (size-1 axis, nothing to communicate).
     algo_choices: dict[str, str] = field(default_factory=dict)
+    #: Positive-duration timeline events the iteration scheduled —
+    #: counted whether or not a trace recorded them (the unit of the
+    #: benchmark suite's events/s throughput metric).
+    num_events: int = 0
 
 
-def _jitter(key: str, amplitude: float) -> float:
-    """Deterministic multiplicative noise in [1-a, 1+a] from a key."""
-    if amplitude == 0.0:
-        return 1.0
-    digest = hashlib.sha256(key.encode()).digest()
-    u = int.from_bytes(digest[:8], "big") / 2**64  # [0, 1)
-    return 1.0 + amplitude * (2.0 * u - 1.0)
+#: Single source of run-to-run perturbation, shared verbatim by both
+#: timing engines (see :func:`repro.simulate.engine.deterministic_jitter`).
+_jitter = deterministic_jitter
 
 
 def _local_gemm_shapes(
@@ -164,6 +164,35 @@ _FLAT_TIME_FNS = {
 }
 
 
+def _priced_collective(
+    op: str,
+    nbytes: float,
+    p: int,
+    link: LinkTiming,
+    hier: HierTiming | None,
+    algo: str,
+) -> tuple[float, str | None]:
+    """(duration, picked algorithm) of one collective — pure pricing.
+
+    ``algo="hierarchical"`` always takes the two-level path when the
+    group decomposes (``hier`` is not None); ``"auto"`` takes whichever
+    of the two measured timings is cheaper.  The pick is ``None`` when
+    no flat-vs-hierarchical decision was in play (forced flat, size-1,
+    or non-decomposable group).
+    """
+    t_flat = _FLAT_TIME_FNS[op](nbytes, p, link.bandwidth, link.latency)
+    if algo == "flat" or hier is None or p <= 1:
+        return t_flat, None
+    t_hier = hierarchical_time(
+        op, nbytes, hier.L, hier.Q,
+        hier.intra.bandwidth, hier.leaders.bandwidth,
+        hier.intra.latency, hier.leaders.latency,
+    )
+    pick_hier = algo == "hierarchical" or t_hier < t_flat
+    pick = "hierarchical" if pick_hier else "flat"
+    return (t_hier if pick_hier else t_flat), pick
+
+
 def _timed_collective(
     op: str,
     nbytes: float,
@@ -172,26 +201,29 @@ def _timed_collective(
     hier: HierTiming | None,
     algo: str,
     tally: dict[str, int] | None,
+    memo: dict[tuple, tuple[float, str | None]] | None = None,
+    axis: str = "",
 ) -> float:
-    """Duration of one collective under the selected algorithm.
+    """Duration of one collective, memoized per ``(op, bytes, axis)``.
 
-    ``algo="hierarchical"`` always takes the two-level path when the
-    group decomposes (``hier`` is not None); ``"auto"`` takes whichever
-    of the two measured timings is cheaper.  ``tally`` counts the picks
-    so the per-axis choice can be reported.
+    Within one ``simulate_iteration`` call the link and two-level
+    timings are fixed per axis, so the price is a pure function of
+    ``(op, nbytes, axis)`` — GPT's repeated transformer blocks ask the
+    same question once per layer.  ``tally`` still counts every *call*'s
+    pick (not every unique price), so the per-axis choice report is
+    unchanged by memoization.
     """
-    t_flat = _FLAT_TIME_FNS[op](nbytes, p, link.bandwidth, link.latency)
-    if algo == "flat" or hier is None or p <= 1:
-        return t_flat
-    t_hier = hierarchical_time(
-        op, nbytes, hier.L, hier.Q,
-        hier.intra.bandwidth, hier.leaders.bandwidth,
-        hier.intra.latency, hier.leaders.latency,
-    )
-    pick_hier = algo == "hierarchical" or t_hier < t_flat
-    if tally is not None:
-        tally["hierarchical" if pick_hier else "flat"] += 1
-    return t_hier if pick_hier else t_flat
+    if memo is not None:
+        key = (op, nbytes, axis)
+        priced = memo.get(key)
+        if priced is None:
+            priced = memo[key] = _priced_collective(op, nbytes, p, link, hier, algo)
+    else:
+        priced = _priced_collective(op, nbytes, p, link, hier, algo)
+    t, pick = priced
+    if pick is not None and tally is not None:
+        tally[pick] += 1
+    return t
 
 
 def _collective_times(
@@ -201,6 +233,7 @@ def _collective_times(
     hier_timings: dict[str, HierTiming | None] | None = None,
     algo: str = "flat",
     tallies: dict[str, dict[str, int]] | None = None,
+    memo: dict[tuple, tuple[float, str | None]] | None = None,
 ) -> dict[str, float]:
     """Durations of the five collectives of Algorithm 1 for one layer,
     using simulator-measured bandwidths and latencies (two-level ones
@@ -227,16 +260,20 @@ def _collective_times(
 
     return {
         "ag_z": _timed_collective(
-            "all_gather", shard, gz, tz, ht.get("z"), algo, tally_for("z")
+            "all_gather", shard, gz, tz, ht.get("z"), algo, tally_for("z"),
+            memo, "z",
         ),
         "rs_z": _timed_collective(
-            "reduce_scatter", block, gz, tz, ht.get("z"), algo, tally_for("z")
+            "reduce_scatter", block, gz, tz, ht.get("z"), algo, tally_for("z"),
+            memo, "z",
         ),
         "ar_fwd": _timed_collective(
-            "all_reduce", out_block, gy, ty, ht.get(ay), algo, tally_for(ay)
+            "all_reduce", out_block, gy, ty, ht.get(ay), algo, tally_for(ay),
+            memo, ay,
         ),
         "ar_bwd": _timed_collective(
-            "all_reduce", in_block, gx, tx, ht.get(ax), algo, tally_for(ax)
+            "all_reduce", in_block, gx, tx, ht.get(ax), algo, tally_for(ax),
+            memo, ax,
         ),
         "dp_shard_bytes": shard,
     }
@@ -257,6 +294,8 @@ def simulate_iteration(
     compute_slowdown: float = 1.0,
     comm_slowdown: float = 1.0,
     collective_algo: str | None = None,
+    engine: str = "vectorized",
+    timing_only: bool = False,
 ) -> IterationResult:
     """Simulate one training iteration and return its timing breakdown.
 
@@ -274,6 +313,16 @@ def simulate_iteration(
     overrides ``config.collective_algo`` for pricing node-straddling
     collectives; the per-axis outcome is reported in
     :attr:`IterationResult.algo_choices`.
+
+    ``engine`` selects the timing backend: ``"vectorized"`` (default)
+    batches the network-bandwidth derivation as NumPy array ops and
+    memoizes repeated (collective, bytes, axis) prices and repeated
+    GEMM-tuning shapes; ``"scalar"`` is the legacy per-rank Python
+    reference path.  The two produce bitwise-identical results (enforced
+    by ``tests/test_sim_differential.py``).  ``timing_only=True`` skips
+    per-event ``Timeline`` records (``trace`` stays empty) when only
+    aggregate iteration time is needed; every timing field, including
+    :attr:`IterationResult.num_events`, is unchanged.
     """
     if global_batch % config.gdata:
         raise ValueError(
@@ -286,13 +335,22 @@ def simulate_iteration(
         raise ValueError(
             f"collective_algo must be 'flat', 'hierarchical' or 'auto', got {algo!r}"
         )
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
     placement = Placement(machine, config.total, strategy=placement_strategy)
     grid = Grid4D(config, placement=placement)
-    timings = group_timings(grid, placement)
+    timings = group_timings(grid, placement, engine=engine)
     hier_timings = (
-        hierarchical_group_timings(grid, placement) if algo != "flat" else {}
+        hierarchical_group_timings(grid, placement, engine=engine)
+        if algo != "flat"
+        else {}
     )
     tallies: dict[str, dict[str, int]] = {}
+    # Per-call price memo: the scalar engine stays the plain reference
+    # path; the vectorized engine prices each (op, bytes, axis) once.
+    memo: dict[tuple, tuple[float, str | None]] | None = (
+        {} if engine == "vectorized" else None
+    )
     gemm = GemmModel(machine)
     batch_per_group = global_batch // config.gdata
     layers = gpt_layer_shapes(cfg, batch_per_group)
@@ -302,6 +360,7 @@ def simulate_iteration(
     fwd_c: list[float] = []  # forward compute (GEMM + attention share)
     bwd_c: list[float] = []  # backward compute (recompute + dI + dW)
     colls: list[dict[str, float]] = []
+    layer_colls: dict[tuple, dict[str, float]] = {}
 
     # Kernel tuning operates on the *local* GEMM shapes.
     ops: list[MatmulOp] = []
@@ -310,7 +369,8 @@ def simulate_iteration(
         ops.append(MatmulOp(f"{layer.name}.fwd", m_l, k_l, n_l, "NN"))
         ops.append(MatmulOp(f"{layer.name}.dI", m_l, n_l, k_l, "NT"))
         ops.append(MatmulOp(f"{layer.name}.dW", k_l, m_l, n_l, "TN"))
-    plan = tune_matmuls(ops, gemm)
+    tune = tune_matmuls_cached if engine == "vectorized" else tune_matmuls
+    plan = tune(ops, gemm)
     if kernel_tuning:
         tuned_speedup = plan.speedup
 
@@ -337,7 +397,18 @@ def simulate_iteration(
             bc += 2.0 * attn_fwd  # attention backward ~ 2x forward
         fwd_c.append(fc)
         bwd_c.append(bc)
-        c = _collective_times(layer, config, timings, hier_timings, algo, tallies)
+        # Repeated transformer blocks share one pricing call: the layer
+        # only enters _collective_times through (m, k, n, transposed),
+        # and repeated shapes repeat identical algorithm picks, so the
+        # zero/nonzero tallies behind algo_choices are unaffected.
+        shape_key = (layer.m, layer.k, layer.n, layer.transposed)
+        c = layer_colls.get(shape_key) if memo is not None else None
+        if c is None:
+            c = _collective_times(
+                layer, config, timings, hier_timings, algo, tallies, memo
+            )
+            if memo is not None:
+                layer_colls[shape_key] = c
         if comm_slowdown != 1.0:
             c = {
                 k: v * comm_slowdown if k != "dp_shard_bytes" else v
@@ -353,10 +424,14 @@ def simulate_iteration(
     # reduce-scatters; the X/Y streams carry activation all-reduces.
     comp_t = 0.0
     comm = {"z": 0.0, "ar_fwd": 0.0, "ar_bwd": 0.0}
+    num_events = 0
 
     def emit(stream, name, start, end):
-        if trace is not None and end > start:
-            trace.add(stream, name, start, end)
+        nonlocal num_events
+        if end > start:
+            num_events += 1
+            if trace is not None and not timing_only:
+                trace.add(stream, name, start, end)
 
     # Forward pass.  Size-1 groups cost nothing and must not act as
     # stream barriers, so zero-duration collectives are skipped.
@@ -436,7 +511,7 @@ def simulate_iteration(
     )
     dp_time = comm_slowdown * _timed_collective(
         "all_reduce", dp_bytes, config.gdata, td,
-        (hier_timings or {}).get("data"), algo, dp_tally,
+        (hier_timings or {}).get("data"), algo, dp_tally, memo, "data",
     )
     if dp_time > 0:
         emit("comm.data", "grad.AR_data", t, t + dp_time)
@@ -479,6 +554,7 @@ def simulate_iteration(
             "attention_fwd_per_block": attn_fwd,
         },
         algo_choices=algo_choices,
+        num_events=num_events,
     )
 
 

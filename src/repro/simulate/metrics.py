@@ -16,6 +16,7 @@ from ..kernels import flops_per_iteration, percent_of_peak, sustained_flops
 __all__ = [
     "RunMetrics",
     "compute_metrics",
+    "events_per_second",
     "weak_scaling_efficiency",
     "strong_scaling_efficiency",
     "time_to_solution_days",
@@ -74,6 +75,16 @@ def compute_metrics(
             achieved, machine.peak_flops(num_gpus, empirical=True)
         ),
     )
+
+
+def events_per_second(num_events: int, wall_seconds: float) -> float:
+    """Simulator throughput: scheduled timeline events per wall-clock
+    second of simulation.  The unit of the ``sim-scale-smoke`` BENCH
+    gate comparing the scalar and vectorized timing engines
+    (``IterationResult.num_events`` over the measured run time)."""
+    if wall_seconds <= 0:
+        raise ValueError("wall_seconds must be positive")
+    return num_events / wall_seconds
 
 
 def weak_scaling_efficiency(

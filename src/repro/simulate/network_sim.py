@@ -132,8 +132,22 @@ def measured_group_bandwidth(
     return LinkTiming(bw, latency, rep.size)
 
 
-def group_timings(grid: Grid4D, placement: Placement) -> dict[str, LinkTiming]:
-    """Link timings for all four axes of the grid."""
+def group_timings(
+    grid: Grid4D, placement: Placement, engine: str = "scalar"
+) -> dict[str, LinkTiming]:
+    """Link timings for all four axes of the grid.
+
+    ``engine="scalar"`` walks every rank in Python (the legacy reference
+    path); ``"vectorized"`` dispatches to the NumPy batch engine of
+    :mod:`repro.simulate.engine`, which returns bitwise-identical
+    timings and memoizes per ``(grid, placement)`` across calls.
+    """
+    if engine == "vectorized":
+        from .engine import cached_group_timings
+
+        return cached_group_timings(grid, placement)
+    if engine != "scalar":
+        raise ValueError(f"engine must be 'scalar' or 'vectorized', got {engine!r}")
     return {
         axis: measured_group_bandwidth(grid, placement, axis)
         for axis in ("x", "y", "z", "data")
@@ -220,9 +234,18 @@ def hierarchical_group_timing(
 
 
 def hierarchical_group_timings(
-    grid: Grid4D, placement: Placement
+    grid: Grid4D, placement: Placement, engine: str = "scalar"
 ) -> dict[str, HierTiming | None]:
-    """Two-level timings for all four axes (``None`` = flat only)."""
+    """Two-level timings for all four axes (``None`` = flat only).
+
+    Same ``engine`` contract as :func:`group_timings`.
+    """
+    if engine == "vectorized":
+        from .engine import cached_hierarchical_group_timings
+
+        return cached_hierarchical_group_timings(grid, placement)
+    if engine != "scalar":
+        raise ValueError(f"engine must be 'scalar' or 'vectorized', got {engine!r}")
     return {
         axis: hierarchical_group_timing(grid, placement, axis)
         for axis in ("x", "y", "z", "data")

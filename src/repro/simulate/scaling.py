@@ -82,9 +82,16 @@ def best_configuration(
     overlap: OverlapFlags = OverlapFlags.all(),
     kernel_tuning: bool = True,
     db: BandwidthDatabase | None = None,
+    engine: str = "vectorized",
 ) -> tuple[GridConfig, IterationResult]:
     """The Section V-B procedure: take the model's top-k predicted
-    configurations and keep the one with the best simulated batch time."""
+    configurations and keep the one with the best simulated batch time.
+
+    Candidate elimination only needs aggregate times, so the top-k
+    simulations run ``timing_only`` on the selected ``engine`` — at
+    paper scale this is what makes a full weak-scaling schedule a
+    seconds-long operation instead of a minutes-long one.
+    """
     ranked = rank_configurations(
         cfg, global_batch, num_gpus, machine, db=db, max_configs=top_k
     )
@@ -98,6 +105,7 @@ def best_configuration(
         res = simulate_iteration(
             cfg, global_batch, cand.config, machine,
             overlap=overlap, kernel_tuning=kernel_tuning,
+            engine=engine, timing_only=True,
         )
         if best is None or res.total_time < best[1].total_time:
             best = (cand.config, res)
@@ -113,13 +121,14 @@ def run_point(
     overlap: OverlapFlags = OverlapFlags.all(),
     kernel_tuning: bool = True,
     db: BandwidthDatabase | None = None,
+    engine: str = "vectorized",
 ) -> ScalingPoint:
     """Simulate one (model, #GPUs) point end to end."""
     cfg = get_model(model_name)
     batch = global_batch if global_batch is not None else default_global_batch(num_gpus)
     config, result = best_configuration(
         cfg, batch, num_gpus, machine,
-        overlap=overlap, kernel_tuning=kernel_tuning, db=db,
+        overlap=overlap, kernel_tuning=kernel_tuning, db=db, engine=engine,
     )
     metrics = compute_metrics(cfg, batch, num_gpus, machine, result.total_time)
     return ScalingPoint(

@@ -4,6 +4,10 @@
 kernel and collective as a (stream, name, start, end) event, giving a
 Gantt view of how OAR/ORS/OAG reshape the schedule — the simulator-side
 analogue of the profiler timelines behind the paper's Fig. 5.
+
+Tracing is for *inspection*; sweeps that only need aggregate iteration
+times should pass ``timing_only=True`` instead (the executor still
+counts events in ``IterationResult.num_events`` but records none here).
 """
 
 from __future__ import annotations
@@ -32,6 +36,9 @@ class Timeline:
     """Collects :class:`TimelineEvent` records during a simulation."""
 
     events: list[TimelineEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
 
     def add(self, stream: str, name: str, start: float, end: float) -> None:
         if end < start:

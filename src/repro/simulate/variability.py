@@ -20,9 +20,15 @@ import numpy as np
 from ..cluster import MachineSpec
 from ..config import GPTConfig
 from ..core.grid import GridConfig
+from .engine import deterministic_jitter
 from .executor import OverlapFlags, simulate_iteration
 
-__all__ = ["VariabilityStats", "variability_study", "measured_batch_time"]
+__all__ = [
+    "VariabilityStats",
+    "variability_study",
+    "measured_batch_time",
+    "deterministic_jitter",
+]
 
 
 @dataclass(frozen=True)

@@ -12,8 +12,8 @@ Usage::
 
     python -m repro.tools goodput MODEL GPUS [MACHINE ...]
         [--node-mtbf-hours H] [--restart S] [--iter-time S] [--seed N]
-        [--replacement-wait S] [--reshard-time S] [--comm-penalty F]
-        [--out DIR]
+        [--simulate-iter-time] [--replacement-wait S] [--reshard-time S]
+        [--comm-penalty F] [--out DIR]
 
 Besides the checkpoint-interval sweep, the report compares the two
 recovery strategies at the optimal interval: **elastic continuation**
@@ -168,6 +168,12 @@ def main(argv: list[str] | None = None) -> int:
         "--iter-time", type=float, default=15.0,
         help="seconds per training iteration in the stochastic replay",
     )
+    parser.add_argument(
+        "--simulate-iter-time", action="store_true",
+        help="derive --iter-time per machine by simulating the best "
+        "configuration (vectorized timing-only engine) instead of the "
+        "fixed default",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--replacement-wait", type=float, default=1800.0,
@@ -194,12 +200,27 @@ def main(argv: list[str] | None = None) -> int:
         straggler_slowdown=args.straggler_slowdown,
     )
     for machine_name in args.machines:
+        iter_time = args.iter_time
+        if args.simulate_iter_time:
+            from ..simulate import best_configuration, default_global_batch
+
+            _, sim = best_configuration(
+                get_model(args.model),
+                default_global_batch(args.gpus),
+                args.gpus,
+                get_machine(machine_name),
+            )
+            iter_time = sim.total_time
+            print(
+                f"simulated iteration time on {machine_name}: "
+                f"{iter_time:.2f}s (config {sim.config})\n"
+            )
         metrics = _report(
             args.model,
             args.gpus,
             machine_name,
             fm,
-            args.iter_time,
+            iter_time,
             args.seed,
             args.replacement_wait,
             args.reshard_time,

@@ -48,6 +48,13 @@ def main(argv: list[str] | None = None) -> int:
         help="collective algorithm policy priced by the simulator "
         "(default: auto, pick flat vs two-level per collective)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("scalar", "vectorized"),
+        default="vectorized",
+        help="simulator timing engine (both are bitwise-identical; "
+        "scalar is the slow per-rank reference path)",
+    )
     args = parser.parse_args(argv)
 
     cfg = get_model(args.model)
@@ -75,6 +82,7 @@ def main(argv: list[str] | None = None) -> int:
             cfg, batch, cand.config, machine,
             overlap=OverlapFlags.all(), kernel_tuning=True,
             collective_algo=args.collective_algo,
+            engine=args.engine, timing_only=True,
         )
         mem = estimate_memory(cfg, cand.config, batch // cand.config.gdata)
         per_gpu = sustained_flops(cfg, batch, sim.total_time) / args.num_gpus

@@ -29,9 +29,9 @@ from .ascii_plot import line_chart
 __all__ = ["main"]
 
 
-def _weak(machine_name: str) -> int:
+def _weak(machine_name: str, engine: str) -> int:
     machine = get_machine(machine_name)
-    points = weak_scaling_sweep(machine)
+    points = weak_scaling_sweep(machine, engine=engine)
     print(f"weak scaling on {machine.name}\n")
     for p in points:
         print(
@@ -54,10 +54,14 @@ def _weak(machine_name: str) -> int:
     return 0
 
 
-def _strong(model: str, machine_name: str, gpus: list[int], batch: int) -> int:
+def _strong(
+    model: str, machine_name: str, gpus: list[int], batch: int, engine: str
+) -> int:
     machine = get_machine(machine_name)
     cfg = get_model(model)
-    points = strong_scaling_sweep(model, gpus, machine, global_batch=batch)
+    points = strong_scaling_sweep(
+        model, gpus, machine, global_batch=batch, engine=engine
+    )
     print(f"strong scaling: {cfg.name} on {machine.name}, batch {batch}\n")
     days = []
     for p in points:
@@ -90,12 +94,20 @@ def main(argv: list[str] | None = None) -> int:
     s.add_argument("machine")
     s.add_argument("gpus", help="comma-separated device counts")
     s.add_argument("--batch", type=int, default=8192)
+    for p in (w, s):
+        p.add_argument(
+            "--engine",
+            choices=("scalar", "vectorized"),
+            default="vectorized",
+            help="simulator timing engine (bitwise-identical results; "
+            "vectorized reaches the paper's 4096-8192+ rank scales)",
+        )
     args = parser.parse_args(argv)
 
     if args.kind == "weak":
-        return _weak(args.machine)
+        return _weak(args.machine, args.engine)
     gpus = [int(g) for g in args.gpus.split(",")]
-    return _strong(args.model, args.machine, gpus, args.batch)
+    return _strong(args.model, args.machine, gpus, args.batch, args.engine)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,304 @@
+"""Differential harness: scalar vs. vectorized simulator timing engines.
+
+The vectorized engine (``repro.simulate.engine``) rewrites the numbers
+the whole repo is gated on — crossover frontiers, goodput reports, plan
+CLI rankings — so its contract is *bitwise equality* with the legacy
+per-rank scalar path, not approximate agreement.  This suite drives
+both engines over fuzzed (machine x grid shape x placement x message
+size x flat/hier algorithm) points and asserts:
+
+* per-axis link timings and two-level decompositions are identical;
+* every per-op interval of a traced iteration is identical (1-ulp
+  criterion, satisfied exactly);
+* ``IterationResult`` — totals, details, algorithm choices, event
+  counts — compares equal field-for-field (floats bitwise);
+* the existing golden configurations are among the checked points.
+
+The fuzz budget defaults to 200 points and honours the
+``SIM_DIFF_POINTS`` env var so CI smoke jobs can run a reduced sweep
+(see the ``sim-scale-smoke`` workflow job).
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.cluster import (
+    ALPS,
+    FRONTIER,
+    PERLMUTTER,
+    GPUSpec,
+    MachineSpec,
+    Placement,
+)
+from repro.config import GPTConfig
+from repro.core import Grid4D, GridConfig
+from repro.simulate import (
+    OverlapFlags,
+    Timeline,
+    deterministic_jitter,
+    simulate_iteration,
+)
+from repro.simulate import engine as vec_engine
+from repro.simulate import network_sim as ns
+from repro.simulate.executor import _jitter
+
+FUZZ_POINTS = int(os.environ.get("SIM_DIFF_POINTS", "200"))
+
+#: The 2-GPUs-per-node toy machine of the ``axonn_4d_hier`` golden
+#: scenario (tests/golden/): X groups of the (4,1,2,1) grid straddle
+#: two nodes with L=2, exercising the two-level path at tiny scale.
+GOLDEN_MACHINE = MachineSpec(
+    name="golden-2pn",
+    gpu=GPUSpec("toy", 1e15, 5e14, 4e10),
+    gpus_per_node=2,
+    intra_node_bw=1e11,
+    inter_node_bw=1e11,
+    total_gpus=64,
+)
+
+MACHINES = [PERLMUTTER, FRONTIER, ALPS, GOLDEN_MACHINE]
+
+TINY = GPTConfig("diff-tiny", num_layers=2, hidden_size=64, num_heads=4,
+                 seq_len=32, vocab_size=64)
+SMALL = GPTConfig("diff-small", num_layers=3, hidden_size=256, num_heads=8,
+                  seq_len=128, vocab_size=512)
+MODELS = [TINY, SMALL]
+
+#: (machine, config, collective_algo) triples every run of the suite
+#: must cover — the golden-trace scenarios plus the hierarchical
+#: benchmark's single-axis node-straddling shape.
+GOLDEN_POINTS = [
+    (PERLMUTTER, GridConfig(2, 2, 2, 1), "flat"),
+    (GOLDEN_MACHINE, GridConfig(4, 1, 2, 1, collective_algo="hierarchical"), None),
+    (PERLMUTTER, GridConfig(2 * PERLMUTTER.gpus_per_node, 1, 1, 1), "auto"),
+    (FRONTIER, GridConfig(2 * FRONTIER.gpus_per_node, 1, 1, 1), "auto"),
+]
+
+
+def _random_dims(rng: random.Random, total: int) -> tuple[int, int, int, int]:
+    """A random 4-way factorization of ``total``."""
+    dims = [1, 1, 1, 1]
+    remaining = total
+    for i in range(3):
+        divisors = [d for d in range(1, remaining + 1) if remaining % d == 0]
+        dims[i] = rng.choice(divisors)
+        remaining //= dims[i]
+    dims[3] = remaining
+    rng.shuffle(dims)
+    return tuple(dims)
+
+
+def _fuzz_points(n: int):
+    rng = random.Random(20240807)
+    points = []
+    while len(points) < n:
+        machine = rng.choice(MACHINES)
+        num_gpus = rng.choice([4, 8, 8, 16, 16, 32, 32, 64, 128])
+        if num_gpus > machine.total_gpus:
+            continue
+        strategy = rng.choice(["block", "block", "round_robin"])
+        if strategy == "round_robin" and num_gpus % machine.num_nodes(num_gpus):
+            strategy = "block"
+        dims = _random_dims(rng, num_gpus)
+        algo = rng.choice(["flat", "hierarchical", "auto", "auto"])
+        model = rng.choice(MODELS)
+        batch = dims[3] * rng.choice([1, 2, 4])
+        overlap = rng.choice([OverlapFlags.none(), OverlapFlags.all(),
+                              OverlapFlags(oar=True)])
+        kernel_tuning = rng.random() < 0.5
+        noise = rng.choice([0.0, 0.03])
+        salt = rng.choice([0, 7])
+        points.append(
+            (machine, dims, strategy, algo, model, batch, overlap,
+             kernel_tuning, noise, salt)
+        )
+    return points
+
+
+FUZZED = _fuzz_points(FUZZ_POINTS)
+
+
+def _point_id(p):
+    machine, dims, strategy, algo, model, batch, *_ = p
+    return f"{machine.name}-{'x'.join(map(str, dims))}-{strategy}-{algo}-{model.name}"
+
+
+class TestFuzzedDifferential:
+    """Legacy scalar path vs. vectorized engine over the fuzz corpus."""
+
+    @pytest.mark.parametrize("point", FUZZED, ids=_point_id)
+    def test_point_bitwise_identical(self, point):
+        (machine, dims, strategy, algo, model, batch, overlap,
+         kernel_tuning, noise, salt) = point
+        config = GridConfig(*dims)
+        placement = Placement(machine, config.total, strategy=strategy)
+        grid = Grid4D(config, placement=placement)
+
+        # Per-axis link timings: exact equality, field for field.
+        scalar_t = ns.group_timings(grid, placement, engine="scalar")
+        vector_t = ns.group_timings(grid, placement, engine="vectorized")
+        assert scalar_t == vector_t
+
+        scalar_h = ns.hierarchical_group_timings(grid, placement, engine="scalar")
+        vector_h = ns.hierarchical_group_timings(grid, placement, engine="vectorized")
+        assert scalar_h == vector_h
+
+        # Full iteration: every IterationResult field, floats bitwise.
+        kwargs = dict(
+            overlap=overlap, kernel_tuning=kernel_tuning, noise=noise,
+            run_salt=salt, placement_strategy=strategy, collective_algo=algo,
+        )
+        res_scalar = simulate_iteration(
+            model, batch, config, machine, engine="scalar", **kwargs
+        )
+        res_vector = simulate_iteration(
+            model, batch, config, machine, engine="vectorized", **kwargs
+        )
+        assert res_scalar == res_vector
+
+    def test_budget_met(self):
+        """The suite honoured its fuzz budget (>= 200 by default)."""
+        assert len(FUZZED) == FUZZ_POINTS
+
+
+class TestGoldenConfigs:
+    """The checked-in golden scenarios are differential points too."""
+
+    @pytest.mark.parametrize(
+        "machine,config,algo", GOLDEN_POINTS,
+        ids=[f"{m.name}-{'x'.join(map(str, c.dims))}" for m, c, _ in GOLDEN_POINTS],
+    )
+    def test_golden_bitwise_identical(self, machine, config, algo):
+        trace_scalar, trace_vector = Timeline(), Timeline()
+        kwargs = dict(
+            overlap=OverlapFlags.all(), kernel_tuning=True,
+            collective_algo=algo,
+        )
+        res_scalar = simulate_iteration(
+            TINY, 4 * config.gdata, config, machine,
+            engine="scalar", trace=trace_scalar, **kwargs
+        )
+        res_vector = simulate_iteration(
+            TINY, 4 * config.gdata, config, machine,
+            engine="vectorized", trace=trace_vector, **kwargs
+        )
+        assert res_scalar == res_vector
+        # Per-op check: every traced interval identical (streams, names,
+        # starts, ends — frozen dataclasses compare exactly).
+        assert trace_scalar.events == trace_vector.events
+        assert len(trace_scalar.events) == res_scalar.num_events
+
+
+class TestPerOpTraces:
+    """Per-op interval equality on a traced subset of the fuzz corpus."""
+
+    @pytest.mark.parametrize("point", FUZZED[::10], ids=_point_id)
+    def test_traced_events_identical(self, point):
+        (machine, dims, strategy, algo, model, batch, overlap,
+         kernel_tuning, noise, salt) = point
+        config = GridConfig(*dims)
+        traces = {}
+        for engine in ("scalar", "vectorized"):
+            traces[engine] = Timeline()
+            simulate_iteration(
+                model, batch, config, machine,
+                overlap=overlap, kernel_tuning=kernel_tuning, noise=noise,
+                run_salt=salt, placement_strategy=strategy,
+                collective_algo=algo, engine=engine, trace=traces[engine],
+            )
+        assert traces["scalar"].events == traces["vectorized"].events
+
+
+class TestJitterDeterminism:
+    """The same seed yields the same perturbation regardless of engine."""
+
+    def test_single_jitter_source(self):
+        # The executor's _jitter IS the shared implementation — there is
+        # no second hashing path a refactor could let drift.
+        assert _jitter is deterministic_jitter
+
+    def test_variability_reexport(self):
+        from repro.simulate.variability import (
+            deterministic_jitter as from_variability,
+        )
+
+        assert from_variability is deterministic_jitter
+
+    def test_zero_amplitude_is_identity(self):
+        assert deterministic_jitter("any-key", 0.0) == 1.0
+
+    def test_keyed_and_bounded(self):
+        a = deterministic_jitter("frontier|cfg|GPT-20B|8192", 0.03)
+        b = deterministic_jitter("frontier|cfg|GPT-20B|8192|1", 0.03)
+        assert a != b
+        for v in (a, b):
+            assert 0.97 <= v <= 1.03
+
+    @pytest.mark.parametrize("salt", [0, 1, 42])
+    def test_salted_runs_agree_across_engines(self, salt):
+        config = GridConfig(2, 2, 2, 2)
+        results = [
+            simulate_iteration(
+                TINY, 32, config, FRONTIER,
+                overlap=OverlapFlags.all(), run_salt=salt, engine=engine,
+            ).total_time
+            for engine in ("scalar", "vectorized")
+        ]
+        assert results[0] == results[1]
+
+
+class TestTimingOnly:
+    """timing_only=True: identical totals, zero Timeline events."""
+
+    @pytest.mark.parametrize(
+        "machine,config,algo", GOLDEN_POINTS,
+        ids=[f"{m.name}-{'x'.join(map(str, c.dims))}" for m, c, _ in GOLDEN_POINTS],
+    )
+    def test_identical_totals_zero_events(self, machine, config, algo):
+        full_trace, empty_trace = Timeline(), Timeline()
+        kwargs = dict(overlap=OverlapFlags.all(), collective_algo=algo)
+        full = simulate_iteration(
+            TINY, 4 * config.gdata, config, machine,
+            trace=full_trace, **kwargs
+        )
+        timing = simulate_iteration(
+            TINY, 4 * config.gdata, config, machine,
+            trace=empty_trace, timing_only=True, **kwargs
+        )
+        assert timing == full  # every field, totals bitwise
+        assert len(empty_trace) == 0
+        assert len(full_trace) == full.num_events == timing.num_events
+        assert full.num_events > 0
+
+    def test_timing_only_without_trace(self):
+        config = GridConfig(2, 2, 2, 1)
+        res = simulate_iteration(
+            TINY, 4, config, PERLMUTTER, timing_only=True
+        )
+        assert res.num_events > 0
+
+
+class TestEngineValidation:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            simulate_iteration(
+                TINY, 4, GridConfig(2, 2, 2, 1), PERLMUTTER, engine="gpu"
+            )
+        grid = Grid4D(GridConfig(2, 2, 2, 1))
+        placement = Placement(PERLMUTTER, 8)
+        with pytest.raises(ValueError, match="engine"):
+            ns.group_timings(grid, placement, engine="gpu")
+        with pytest.raises(ValueError, match="engine"):
+            ns.hierarchical_group_timings(grid, placement, engine="gpu")
+
+    def test_clear_caches(self):
+        placement = Placement(FRONTIER, 16)
+        grid = Grid4D(GridConfig(4, 2, 2, 1), placement=placement)
+        before = ns.group_timings(grid, placement, engine="vectorized")
+        assert vec_engine._GROUP_TIMINGS_CACHE
+        vec_engine.clear_caches()
+        assert not vec_engine._GROUP_TIMINGS_CACHE
+        after = ns.group_timings(grid, placement, engine="vectorized")
+        assert before == after
