@@ -14,6 +14,9 @@ The package rebuilds the paper's system, AxoNN, in pure Python:
   stands in for Perlmutter, Frontier, and Alps;
 * :mod:`repro.memorization` — the catastrophic-memorization study and
   the Goldfish loss;
+* :mod:`repro.serving` — the continuous-batching serving runtime with a
+  paged KV cache and tensor-parallel decode, mirrored analytically by
+  :mod:`repro.simulate.serving`;
 * :mod:`repro.telemetry` — span tracing, a metrics registry, and
   Chrome-trace / ``BENCH_*.json`` exporters shared by the runtime and
   the simulator;
@@ -58,6 +61,14 @@ from .nn import (
 )
 from .perfmodel import AlgorithmChoice, choose_algorithm
 from .runtime import collective_policy_scope
+from .serving import (
+    BatchingConfig,
+    PagedKVCache,
+    Request,
+    ServingEngine,
+    TensorParallelDecoder,
+    poisson_trace,
+)
 from .telemetry import (
     MetricsRegistry,
     Tracer,
@@ -99,6 +110,13 @@ __all__ = [
     "train_with_recovery",
     "ElasticReport",
     "train_elastic",
+    # serving runtime
+    "Request",
+    "poisson_trace",
+    "BatchingConfig",
+    "PagedKVCache",
+    "ServingEngine",
+    "TensorParallelDecoder",
     # telemetry
     "Tracer",
     "get_tracer",

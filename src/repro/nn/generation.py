@@ -26,22 +26,72 @@ __all__ = ["KVCache", "prefill", "decode_step", "generate_greedy"]
 
 @dataclass
 class KVCache:
-    """Per-layer cached keys/values, shape (B, heads, S_past, head_dim)."""
+    """Per-layer cached keys/values, shape (B, heads, S_past, head_dim).
 
-    keys: list[np.ndarray] = field(default_factory=list)
-    values: list[np.ndarray] = field(default_factory=list)
+    Storage is pre-allocated in ``block_tokens``-sized chunks (doubling
+    when a chunk is outgrown) and a per-layer logical length tracks how
+    much of each buffer is live: appending a token writes into the next
+    free slots instead of reallocating, so decoding ``S`` tokens copies
+    O(S) bytes total.  The previous ``np.concatenate``-per-step
+    implementation copied the whole cache every step — O(S^2) bytes —
+    which ``copied_bytes`` exists to pin down in the perf regression
+    test.
+    """
+
+    block_tokens: int = 64
+    #: Total bytes moved by cache maintenance (token writes + buffer
+    #: regrowth).  The regression test asserts this stays linear in the
+    #: number of decoded tokens.
+    copied_bytes: int = 0
+    _k: list[np.ndarray] = field(default_factory=list, repr=False)
+    _v: list[np.ndarray] = field(default_factory=list, repr=False)
+    _lens: list[int] = field(default_factory=list, repr=False)
 
     @property
     def seq_len(self) -> int:
-        return 0 if not self.keys else self.keys[0].shape[2]
+        return self._lens[0] if self._lens else 0
+
+    @property
+    def keys(self) -> list[np.ndarray]:
+        """Live (B, heads, S, head_dim) views, one per layer."""
+        return [b[:, :, :n] for b, n in zip(self._k, self._lens)]
+
+    @property
+    def values(self) -> list[np.ndarray]:
+        return [b[:, :, :n] for b, n in zip(self._v, self._lens)]
+
+    def _capacity_for(self, tokens: int) -> int:
+        blocks = -(-tokens // self.block_tokens)
+        return blocks * self.block_tokens
 
     def append(self, layer: int, k: np.ndarray, v: np.ndarray) -> None:
-        if layer == len(self.keys):
-            self.keys.append(k)
-            self.values.append(v)
-        else:
-            self.keys[layer] = np.concatenate([self.keys[layer], k], axis=2)
-            self.values[layer] = np.concatenate([self.values[layer], v], axis=2)
+        s_new = k.shape[2]
+        if layer == len(self._k):
+            cap = self._capacity_for(s_new)
+            shape = k.shape[:2] + (cap,) + k.shape[3:]
+            self._k.append(np.empty(shape, dtype=k.dtype))
+            self._v.append(np.empty(shape, dtype=v.dtype))
+            self._lens.append(0)
+        n = self._lens[layer]
+        buf_k, buf_v = self._k[layer], self._v[layer]
+        cap = buf_k.shape[2]
+        if n + s_new > cap:
+            # Geometric growth keeps total regrow traffic <= 2x the
+            # final cache size (amortized O(1) per token).
+            new_cap = max(2 * cap, self._capacity_for(n + s_new))
+            for bufs in (self._k, self._v):
+                old = bufs[layer]
+                grown = np.empty(
+                    old.shape[:2] + (new_cap,) + old.shape[3:], dtype=old.dtype
+                )
+                grown[:, :, :n] = old[:, :, :n]
+                bufs[layer] = grown
+                self.copied_bytes += old[:, :, :n].nbytes
+            buf_k, buf_v = self._k[layer], self._v[layer]
+        buf_k[:, :, n : n + s_new] = k
+        buf_v[:, :, n : n + s_new] = v
+        self.copied_bytes += k.nbytes + v.nbytes
+        self._lens[layer] = n + s_new
 
 
 def _split_heads(t: np.ndarray, num_heads: int) -> np.ndarray:
@@ -102,8 +152,18 @@ def _forward_cached(
 ) -> np.ndarray:
     """Logits (B, S_new, V) for the new tokens, extending the cache."""
     ids_new = np.atleast_2d(np.asarray(ids_new))
+    if ids_new.ndim != 2:
+        raise ValueError(
+            f"token ids must be at most 2-D (batch, seq); got shape "
+            f"{ids_new.shape}"
+        )
     past = cache.seq_len
     b, s_new = ids_new.shape
+    if s_new == 0:
+        raise ValueError(
+            "empty token sequence: at least one new token is required "
+            "(prefill needs a non-empty prompt)"
+        )
     if past + s_new > model.cfg.seq_len:
         raise ValueError(
             f"sequence {past + s_new} exceeds the model's context "
@@ -125,17 +185,35 @@ def _forward_cached(
 
 def prefill(model: GPT, prefix: np.ndarray) -> tuple[np.ndarray, KVCache]:
     """Run the prompt once; return (last-position logits, filled cache)."""
+    prefix = np.atleast_2d(np.asarray(prefix))
+    if prefix.size == 0:
+        raise ValueError(
+            "prefill requires a non-empty prompt (got an empty prefix)"
+        )
     cache = KVCache()
-    logits = _forward_cached(model, np.atleast_2d(prefix), cache)
+    logits = _forward_cached(model, prefix, cache)
     return logits[:, -1], cache
 
 
 def decode_step(
     model: GPT, token: np.ndarray, cache: KVCache
 ) -> np.ndarray:
-    """One incremental step: feed the (B,) new tokens, get (B, V) logits."""
+    """One incremental step: feed the new tokens, get (B, V) logits.
+
+    Accepts a scalar, a (B,) vector, or an already-2D (B, 1) column —
+    one new token per sequence either way.
+    """
     token = np.atleast_1d(np.asarray(token))
-    logits = _forward_cached(model, token[:, None], cache)
+    if token.ndim == 1:
+        token = token[:, None]
+    if token.ndim != 2 or token.shape[1] != 1:
+        raise ValueError(
+            f"decode_step takes one new token per sequence: scalar, (B,) "
+            f"or (B, 1); got shape {np.asarray(token).shape}"
+        )
+    if token.size == 0:
+        raise ValueError("decode_step requires at least one sequence")
+    logits = _forward_cached(model, token, cache)
     return logits[:, -1]
 
 
@@ -150,7 +228,12 @@ def generate_greedy(
     """
     if num_tokens < 1:
         raise ValueError("num_tokens must be >= 1")
-    logits, cache = prefill(model, np.asarray(prefix)[None, :])
+    prefix = np.asarray(prefix)
+    if prefix.ndim != 1:
+        raise ValueError(f"prefix must be 1-D; got shape {prefix.shape}")
+    if prefix.size == 0:
+        raise ValueError("prefix must contain at least one token")
+    logits, cache = prefill(model, prefix[None, :])
     out = []
     nxt = int(np.argmax(logits[0]))
     out.append(nxt)

@@ -1,0 +1,32 @@
+"""Request-level serving runtime: continuous batching + paged KV cache.
+
+The serving analog of the training stack: an admission queue fed by
+seeded arrival traces (:mod:`repro.serving.arrivals`), a block-allocated
+paged KV cache (:mod:`repro.serving.paged_kv`), a shared continuous-
+batching policy (:mod:`repro.serving.scheduler`), the real greedy
+decoding engine (:mod:`repro.serving.engine`), and tensor-parallel
+decode over the 4D grid (:mod:`repro.serving.tp`).  The simulator
+mirror lives in :mod:`repro.simulate.serving`.
+"""
+
+from .arrivals import Request, bursty_trace, poisson_trace, synthetic_requests
+from .engine import FinishedRequest, ServingEngine, batched_decode_step
+from .paged_kv import BlockAllocator, CacheOutOfBlocks, PagedKVCache
+from .scheduler import BatchingConfig, ContinuousBatcher
+from .tp import TensorParallelDecoder
+
+__all__ = [
+    "Request",
+    "poisson_trace",
+    "bursty_trace",
+    "synthetic_requests",
+    "BlockAllocator",
+    "PagedKVCache",
+    "CacheOutOfBlocks",
+    "BatchingConfig",
+    "ContinuousBatcher",
+    "ServingEngine",
+    "FinishedRequest",
+    "batched_decode_step",
+    "TensorParallelDecoder",
+]

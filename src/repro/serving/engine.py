@@ -1,0 +1,333 @@
+"""Continuous-batching serving engine over the paged KV cache.
+
+Every :meth:`ServingEngine.step` is one scheduling round of in-flight
+batching: finished sequences were evicted at the end of the previous
+round, waiting requests are admitted into the freed slots (prefill
+phase), and all running sequences advance one token together (decode
+phase).  New work never waits for the current batch to drain — the
+defining property of continuous batching.
+
+Numerical contract: the engine's greedy output is **bitwise identical**
+to running :func:`repro.nn.generation.generate_greedy` per request.
+Prefill *is* the single-sequence cached forward (then copied into KV
+blocks), and the batched decode step evaluates, per batch row, exactly
+the float64 operations of the single-sequence path: embedding rows are
+gathered per sequence, LayerNorm/GELU/residuals are row-local, NumPy
+batches stacked matmuls as independent per-row GEMMs, and attention is
+evaluated per sequence over its gathered blocks.  The equivalence tests
+assert logits equality with ``assert_array_equal``, not a tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.generation import (
+    _attention_with_cache,
+    _split_heads,
+    prefill,
+)
+from ..nn.transformer import GPT
+from ..telemetry.spans import get_tracer
+from ..tensor import Tensor, no_grad
+from ..tensor import functional as F
+from .arrivals import Request
+from .paged_kv import PagedKVCache
+from .scheduler import BatchingConfig, ContinuousBatcher
+
+__all__ = ["FinishedRequest", "ServingEngine", "batched_decode_step"]
+
+
+@dataclass(frozen=True)
+class FinishedRequest:
+    """A completed request with its generation and timing metadata."""
+
+    request: Request
+    #: Generated token ids (1-D int64; prompt not included).
+    tokens: np.ndarray
+    #: Step index at which the request was admitted (prefill round).
+    admitted_step: int
+    #: Step index that produced the first output token (== admitted_step:
+    #: prefill emits it).
+    first_token_step: int
+    #: Step index after which the request left the batch.
+    finish_step: int
+    #: Virtual-clock timestamps mirroring the step indices (seconds).
+    admitted_time: float = 0.0
+    first_token_time: float = 0.0
+    finish_time: float = 0.0
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token: queueing delay + prefill round."""
+        return self.first_token_time - self.request.arrival_time
+
+    @property
+    def e2e_latency(self) -> float:
+        """Arrival to last token."""
+        return self.finish_time - self.request.arrival_time
+
+    @property
+    def num_tokens(self) -> int:
+        return int(self.tokens.shape[0])
+
+
+@dataclass
+class _Running:
+    """Mutable in-flight state of one admitted sequence."""
+
+    request: Request
+    seq_id: int
+    admitted_step: int
+    admitted_time: float
+    out: list[int] = field(default_factory=list)
+    done: bool = False
+
+
+def batched_decode_step(
+    model: GPT,
+    tokens: np.ndarray,
+    kv: PagedKVCache,
+    seq_ids: list[int],
+) -> np.ndarray:
+    """One decode step for ``len(seq_ids)`` sequences at once.
+
+    ``tokens[i]`` is the next input token of ``kv`` sequence
+    ``seq_ids[i]``; returns (B, V) logits.  Writes each sequence's new
+    keys/values into its KV blocks and commits the position afterwards.
+    Per batch row this computes bit-for-bit the single-sequence
+    :func:`repro.nn.generation.decode_step` arithmetic (see module
+    docstring).
+    """
+    cfg = model.cfg
+    b = len(seq_ids)
+    tokens = np.asarray(tokens, dtype=np.int64)
+    if tokens.shape != (b,):
+        raise ValueError(
+            f"expected ({b},) next tokens for {b} sequences; got "
+            f"{tokens.shape}"
+        )
+    pasts = [kv.seq_len(s) for s in seq_ids]
+    for s, past in zip(seq_ids, pasts):
+        if past + 1 > cfg.seq_len:
+            raise ValueError(
+                f"sequence {s} at {past} cached tokens exceeds the "
+                f"model's context {cfg.seq_len}"
+            )
+    h = cfg.hidden_size
+    nh = cfg.num_heads
+    pos = np.asarray(pasts)
+
+    def ln(mod, arr):
+        return F.layer_norm(Tensor(arr), mod.weight, mod.bias, mod.eps).data
+
+    with no_grad():
+        x = (
+            model.wte.weight.data[tokens[:, None]]
+            + model.wpe.weight.data[pos][:, None, :]
+        )  # (B, 1, H)
+        for layer in range(cfg.num_layers):
+            blk = model.blocks[layer]
+            a = ln(blk.ln1, x)
+            qkv = a @ blk.attn.qkv.weight.data + blk.attn.qkv.bias.data
+            q, k, v = qkv[..., :h], qkv[..., h : 2 * h], qkv[..., 2 * h :]
+            qh, kh, vh = (_split_heads(t, nh) for t in (q, k, v))
+            rows = []
+            for i, s in enumerate(seq_ids):
+                kv.write(s, layer, kh[i], vh[i])
+                k_all, v_all = kv.gather(s, layer, include_uncommitted=1)
+                rows.append(
+                    _attention_with_cache(
+                        qh[i : i + 1], k_all[None], v_all[None], pasts[i]
+                    )
+                )
+            att = np.concatenate(rows, axis=0)  # (B, 1, H)
+            x = x + (att @ blk.attn.proj.weight.data + blk.attn.proj.bias.data)
+            a = ln(blk.ln2, x)
+            f1 = F.gelu(
+                Tensor(a @ blk.mlp.fc1.weight.data + blk.mlp.fc1.bias.data)
+            ).data
+            x = x + (f1 @ blk.mlp.fc2.weight.data + blk.mlp.fc2.bias.data)
+        x = F.layer_norm(
+            Tensor(x), model.ln_f.weight, model.ln_f.bias, model.ln_f.eps
+        ).data
+        logits = x @ model.wte.weight.data.T
+    for s in seq_ids:
+        kv.advance(s, 1)
+    return logits[:, -1]
+
+
+class ServingEngine:
+    """Request-level serving runtime: queue -> prefill -> batched decode.
+
+    The engine owns a :class:`ContinuousBatcher` (admission policy), a
+    :class:`PagedKVCache` (block pool sized by ``config``), and a greedy
+    sampler.  Admission reserves a request's worst-case KV footprint
+    up front, so a running sequence can never fail a block allocation
+    mid-decode (see the scheduler module docstring).
+    """
+
+    def __init__(
+        self,
+        model: GPT,
+        config: BatchingConfig | None = None,
+        *,
+        eos_id: int | None = None,
+    ) -> None:
+        self.model = model
+        self.config = config or BatchingConfig()
+        self.eos_id = eos_id
+        self.batcher = ContinuousBatcher(self.config)
+        self.kv = PagedKVCache(
+            model.cfg.num_layers,
+            model.cfg.num_heads,
+            model.cfg.head_dim,
+            block_size=self.config.block_size,
+            num_blocks=self.config.num_blocks,
+        )
+        self.running: list[_Running] = []
+        self.finished: list[FinishedRequest] = []
+        self.step_count = 0
+        self.time = 0.0
+        self._next_seq_id = 0
+
+    # -- request intake ----------------------------------------------------
+
+    def submit(self, request: Request) -> None:
+        """Queue a request for admission (FIFO)."""
+        if request.total_tokens > self.model.cfg.seq_len:
+            raise ValueError(
+                f"request {request.request_id} needs "
+                f"{request.total_tokens} context tokens; the model's "
+                f"window is {self.model.cfg.seq_len}"
+            )
+        self.batcher.enqueue(request)
+        self._count("serve.requests", 1)
+
+    # -- one scheduling round ---------------------------------------------
+
+    def step(self) -> list[FinishedRequest]:
+        """Admit, prefill, decode one token, evict; returns this round's
+        completions."""
+        self.step_count += 1
+        for req in self.batcher.admit(
+            len(self.running), self.kv.allocator.num_free
+        ):
+            self._admit(req)
+        live = [r for r in self.running if not r.done]
+        if live:
+            tokens = np.asarray([r.out[-1] for r in live], dtype=np.int64)
+            logits = batched_decode_step(
+                self.model, tokens, self.kv, [r.seq_id for r in live]
+            )
+            nxt = np.argmax(logits, axis=1)
+            for r, t in zip(live, nxt):
+                r.out.append(int(t))
+                self._maybe_finish(r)
+            self._count("serve.decode_steps", 1)
+            self._count("serve.decode_tokens", len(live))
+        return self._evict()
+
+    def _admit(self, req: Request) -> None:
+        seq_id = self._next_seq_id
+        self._next_seq_id += 1
+        self.kv.add_sequence(seq_id)
+        # Reserve the worst case now; admission already accounted for it.
+        self.kv.reserve(seq_id, req.total_tokens)
+        state = _Running(
+            request=req,
+            seq_id=seq_id,
+            admitted_step=self.step_count,
+            admitted_time=self.time,
+        )
+        # Prefill IS the single-sequence cached forward; its per-layer
+        # keys/values are copied once into this sequence's KV blocks.
+        logits, cache = prefill(self.model, req.prompt[None, :])
+        for layer, (k, v) in enumerate(zip(cache.keys, cache.values)):
+            self.kv.write(seq_id, layer, k[0], v[0])
+        self.kv.advance(seq_id, req.prompt_len)
+        state.out.append(int(np.argmax(logits[0])))
+        self.running.append(state)
+        self._count("serve.admitted", 1)
+        self._count("serve.prefill_tokens", req.prompt_len)
+        self._maybe_finish(state)
+
+    def _maybe_finish(self, r: _Running) -> None:
+        if len(r.out) >= r.request.max_new_tokens:
+            r.done = True
+        elif self.eos_id is not None and r.out[-1] == self.eos_id:
+            r.done = True
+
+    def _evict(self) -> list[FinishedRequest]:
+        out = []
+        for r in [r for r in self.running if r.done]:
+            self.kv.free_sequence(r.seq_id)
+            self.running.remove(r)
+            fin = FinishedRequest(
+                request=r.request,
+                tokens=np.asarray(r.out, dtype=np.int64),
+                admitted_step=r.admitted_step,
+                first_token_step=r.admitted_step,
+                finish_step=self.step_count,
+                admitted_time=r.admitted_time,
+                first_token_time=r.admitted_time,
+                finish_time=self.time,
+            )
+            self.finished.append(fin)
+            out.append(fin)
+            self._count("serve.finished", 1)
+            self._record(
+                "serve.e2e_steps", fin.finish_step - fin.admitted_step + 1
+            )
+        return out
+
+    # -- trace driver ------------------------------------------------------
+
+    def run(
+        self,
+        requests: list[Request],
+        *,
+        step_time: float = 1.0,
+        max_steps: int = 100_000,
+    ) -> list[FinishedRequest]:
+        """Serve a whole arrival trace to completion.
+
+        The virtual clock advances ``step_time`` seconds per scheduling
+        round; a request is visible to admission once its
+        ``arrival_time`` has passed.  Returns completions in finish
+        order.
+        """
+        pending = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        i = 0
+        start = len(self.finished)
+        while i < len(pending) or self.batcher.num_waiting or self.running:
+            while i < len(pending) and pending[i].arrival_time <= self.time:
+                self.submit(pending[i])
+                i += 1
+            if not self.batcher.num_waiting and not self.running:
+                # Idle: jump to the next arrival instead of spinning.
+                self.time = pending[i].arrival_time
+                continue
+            self.step()
+            self.time += step_time
+            if self.step_count > max_steps:
+                raise RuntimeError(
+                    f"serving did not drain within {max_steps} steps"
+                )
+        return self.finished[start:]
+
+    # -- telemetry ---------------------------------------------------------
+
+    @staticmethod
+    def _count(name: str, amount: float) -> None:
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.metrics.counter(name).add(amount)
+
+    @staticmethod
+    def _record(name: str, value: float) -> None:
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.metrics.histogram(name).record(value)

@@ -1,0 +1,97 @@
+"""Admission control shared by the real engine and the simulator.
+
+Continuous batching lives or dies by its scheduling policy, so the
+policy is one pure class used by both executors: the real
+:class:`~repro.serving.engine.ServingEngine` (which moves actual
+floats) and the simulator's :func:`~repro.simulate.serving.simulate_serving`
+(which moves virtual time).  Whatever workload the simulator predicts a
+latency for, the engine batches identically.
+
+Policy (deliberately simple and deterministic):
+
+* FIFO admission in arrival order;
+* a request is admitted only when a batch slot is free **and** the
+  block pool can cover its *worst-case* KV footprint
+  (``prompt + max_new_tokens`` tokens).  Conservative reservation means
+  an admitted sequence can never hit a mid-decode out-of-blocks
+  condition, so there is no preemption path to get wrong;
+* head-of-line blocking is kept: if the oldest waiting request does not
+  fit, nothing behind it is admitted (preserves arrival-order fairness
+  and makes admission order a pure function of the trace).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .arrivals import Request
+
+__all__ = ["BatchingConfig", "ContinuousBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Capacity limits of a serving instance."""
+
+    #: Max sequences decoded together per step.
+    max_batch: int = 8
+    #: Token slots per KV block.
+    block_size: int = 16
+    #: Total KV blocks in the pool.
+    num_blocks: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        if self.num_blocks < 1:
+            raise ValueError("num_blocks must be >= 1")
+
+    def blocks_for(self, tokens: int) -> int:
+        return -(-tokens // self.block_size)
+
+    def fits(self, request: Request) -> bool:
+        """Whether the request can *ever* be admitted on this instance."""
+        return self.blocks_for(request.total_tokens) <= self.num_blocks
+
+
+class ContinuousBatcher:
+    """FIFO waiting queue + per-step admission decisions."""
+
+    def __init__(self, config: BatchingConfig) -> None:
+        self.config = config
+        self._waiting: deque[Request] = deque()
+
+    @property
+    def num_waiting(self) -> int:
+        return len(self._waiting)
+
+    def enqueue(self, request: Request) -> None:
+        if not self.config.fits(request):
+            raise ValueError(
+                f"request {request.request_id} needs "
+                f"{self.config.blocks_for(request.total_tokens)} blocks; "
+                f"the pool only has {self.config.num_blocks}"
+            )
+        self._waiting.append(request)
+
+    def admit(self, running: int, free_blocks: int) -> list[Request]:
+        """Requests to admit this step, FIFO, within capacity.
+
+        ``running`` is the current in-flight sequence count and
+        ``free_blocks`` the pool's free block count; both are advanced
+        locally as requests are taken so one call decides the full
+        admission set for the step.
+        """
+        admitted: list[Request] = []
+        while self._waiting and running < self.config.max_batch:
+            need = self.config.blocks_for(self._waiting[0].total_tokens)
+            if need > free_blocks:
+                break  # head-of-line blocking: keep arrival order strict
+            req = self._waiting.popleft()
+            admitted.append(req)
+            running += 1
+            free_blocks -= need
+        return admitted

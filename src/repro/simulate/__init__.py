@@ -38,6 +38,12 @@ from .variability import (
     measured_batch_time,
     variability_study,
 )
+from .serving import (
+    ServingModel,
+    ServingResult,
+    simulate_serving,
+    sweep_offered_load,
+)
 from .scaling import (
     WEAK_SCALING_SCHEDULES,
     ScalingPoint,
@@ -93,4 +99,8 @@ __all__ = [
     "strong_scaling_sweep",
     "default_global_batch",
     "WEAK_SCALING_SCHEDULES",
+    "ServingModel",
+    "ServingResult",
+    "simulate_serving",
+    "sweep_offered_load",
 ]

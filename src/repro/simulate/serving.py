@@ -1,0 +1,330 @@
+"""Analytic serving-workload model: the simulator mirror of the engine.
+
+The real :class:`repro.serving.engine.ServingEngine` moves float64s; this
+module moves virtual time through the *same* admission policy
+(:class:`repro.serving.scheduler.ContinuousBatcher`, shared class, same
+head-of-line FIFO semantics), charging each scheduling round its analytic
+cost on a target machine:
+
+* **prefill** is compute-bound: ``2 * params * prompt_len`` flops at the
+  machine's empirical GEMM rate, divided over the tensor-parallel degree;
+* **decode** is memory-bound at small batch: every step streams the full
+  weight shard from HBM once (amortized over the whole batch — the
+  economic argument for continuous batching) plus each sequence's KV
+  history, and the compute term only takes over at large batch;
+* **tensor-parallel collectives** are priced by the Section V-B model —
+  two all-reduces per layer per step through
+  :func:`repro.perfmodel.choose_algorithm`, so the flat/hierarchical
+  routing decision shows up in the serving frontier exactly as it does
+  in training step times.
+
+Sweeping offered load over a seeded arrival trace yields the
+throughput/latency frontier (p50/p99 via the telemetry histogram's
+bucket-interpolated quantiles) and SLO attainment — the serving analog
+of the training scaling curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.machine import MachineSpec
+from ..cluster.topology import Placement
+from ..config import GPTConfig
+from ..perfmodel import choose_algorithm
+from ..serving.arrivals import Request, poisson_trace
+from ..serving.scheduler import BatchingConfig, ContinuousBatcher
+from ..telemetry.metrics import Histogram
+from ..telemetry.spans import get_tracer
+
+__all__ = [
+    "ServingModel",
+    "ServingResult",
+    "simulate_serving",
+    "sweep_offered_load",
+]
+
+
+@dataclass(frozen=True)
+class ServingModel:
+    """Analytic per-phase costs of one serving instance.
+
+    ``tp`` devices cooperate on every forward (weights, KV, and the LM
+    head split ``tp`` ways); ``dtype_bytes`` is the serving precision
+    (bf16 by default, unlike the float64 the numerical engine uses to
+    stay bitwise-checkable).
+    """
+
+    cfg: GPTConfig
+    machine: MachineSpec
+    tp: int = 1
+    dtype_bytes: int = 2
+    #: "flat", "hierarchical", or "auto" — mirrors GridConfig.
+    collective_algo: str = "flat"
+
+    def __post_init__(self) -> None:
+        if self.tp < 1:
+            raise ValueError(f"tp must be >= 1, got {self.tp}")
+        if self.cfg.num_heads % self.tp:
+            raise ValueError(
+                f"num_heads {self.cfg.num_heads} must divide by tp {self.tp}"
+            )
+
+    @property
+    def weight_bytes(self) -> float:
+        return self.cfg.num_parameters() * self.dtype_bytes
+
+    def kv_bytes(self, tokens: int) -> float:
+        """KV footprint of ``tokens`` cached positions (all layers, K+V)."""
+        return 2 * self.cfg.num_layers * self.cfg.hidden_size * tokens * (
+            self.dtype_bytes
+        )
+
+    def _ar_time(self, nbytes: float) -> float:
+        """One tensor-parallel all-reduce of ``nbytes`` on this machine."""
+        if self.tp == 1:
+            return 0.0
+        choice = choose_algorithm(
+            "all_reduce",
+            nbytes,
+            range(self.tp),
+            Placement(self.machine, self.tp),
+        )
+        if self.collective_algo == "flat":
+            return choice.flat_time
+        return min(choice.flat_time, choice.hier_time)
+
+    def comm_time(self, new_tokens: int) -> float:
+        """Per-step TP communication: two all-reduces per layer over the
+        activations of every new token position."""
+        nbytes = new_tokens * self.cfg.hidden_size * self.dtype_bytes
+        return 2 * self.cfg.num_layers * self._ar_time(nbytes)
+
+    def prefill_time(self, prompt_len: int) -> float:
+        """One prompt's prefill: compute-bound GEMMs + TP collectives."""
+        flops = 2.0 * self.cfg.num_parameters() * prompt_len
+        t_compute = flops / (self.tp * self.machine.gpu.empirical_bf16_flops)
+        return t_compute + self.comm_time(prompt_len)
+
+    def decode_step_time(self, batch: int, context_tokens: int) -> float:
+        """One continuous-batching decode step.
+
+        ``batch`` sequences advance one token; ``context_tokens`` is
+        their summed cached history.  The weight stream is paid once for
+        the whole batch — the roofline reason batching decode is nearly
+        free until the compute term catches up.
+        """
+        if batch < 1:
+            raise ValueError("decode step needs at least one sequence")
+        hbm = self.tp * self.machine.gpu.hbm_bw
+        t_mem = (self.weight_bytes + self.kv_bytes(context_tokens)) / hbm
+        flops = 2.0 * self.cfg.num_parameters() * batch
+        t_compute = flops / (self.tp * self.machine.gpu.empirical_bf16_flops)
+        return max(t_mem, t_compute) + self.comm_time(batch)
+
+    def unloaded_latency(self, request: Request) -> float:
+        """End-to-end latency of the request alone on an idle instance —
+        the baseline the SLO slowdown multiplier is measured against."""
+        ctx = request.prompt_len
+        t = self.prefill_time(ctx)
+        for _ in range(request.max_new_tokens - 1):
+            t += self.decode_step_time(1, ctx)
+            ctx += 1
+        return t
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Summary of one simulated trace at one offered load."""
+
+    offered_load: float
+    num_requests: int
+    generated_tokens: int
+    #: Virtual seconds from first arrival to last completion.
+    makespan: float
+    tokens_per_s: float
+    p50_ttft: float
+    p99_ttft: float
+    p50_e2e: float
+    p99_e2e: float
+    mean_e2e: float
+    #: Fraction of requests with e2e <= slo_multiplier x unloaded latency.
+    slo_attainment: float
+    slo_multiplier: float
+    mean_batch: float
+    decode_steps: int
+
+    def to_dict(self) -> dict[str, float | int]:
+        return {
+            "offered_load_rps": self.offered_load,
+            "num_requests": self.num_requests,
+            "generated_tokens": self.generated_tokens,
+            "makespan_s": self.makespan,
+            "tokens_per_s": self.tokens_per_s,
+            "p50_ttft_s": self.p50_ttft,
+            "p99_ttft_s": self.p99_ttft,
+            "p50_e2e_s": self.p50_e2e,
+            "p99_e2e_s": self.p99_e2e,
+            "mean_e2e_s": self.mean_e2e,
+            "slo_attainment": self.slo_attainment,
+            "slo_multiplier": self.slo_multiplier,
+            "mean_batch": self.mean_batch,
+            "decode_steps": self.decode_steps,
+        }
+
+
+@dataclass
+class _SimSeq:
+    request: Request
+    produced: int = 0
+    first_token_time: float = 0.0
+
+
+def simulate_serving(
+    requests: list[Request],
+    model: ServingModel,
+    config: BatchingConfig | None = None,
+    *,
+    slo_multiplier: float = 3.0,
+    max_steps: int = 1_000_000,
+) -> ServingResult:
+    """Run an arrival trace through the virtual-time serving loop.
+
+    The loop is the engine's :meth:`~repro.serving.engine.ServingEngine.run`
+    with analytic round costs: each round admits (prefilling the
+    newcomers), decodes one token for every running sequence, and
+    advances the clock by the round's modeled duration.  Determinism:
+    identical trace + config => identical result, bit for bit.
+    """
+    if not requests:
+        raise ValueError("cannot simulate an empty trace")
+    config = config or BatchingConfig()
+    batcher = ContinuousBatcher(config)
+    pending = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+    offered = _offered_load(pending)
+
+    running: list[_SimSeq] = []
+    finished: list[tuple[Request, float, float]] = []  # (req, ttft, e2e)
+    free_blocks = config.num_blocks
+    time = pending[0].arrival_time
+    i = 0
+    steps = 0
+    batch_acc = 0
+    while i < len(pending) or batcher.num_waiting or running:
+        while i < len(pending) and pending[i].arrival_time <= time:
+            batcher.enqueue(pending[i])
+            i += 1
+        if not batcher.num_waiting and not running:
+            time = pending[i].arrival_time
+            continue
+        steps += 1
+        if steps > max_steps:
+            raise RuntimeError(
+                f"serving simulation did not drain within {max_steps} steps"
+            )
+        round_time = 0.0
+        for req in batcher.admit(len(running), free_blocks):
+            free_blocks -= config.blocks_for(req.total_tokens)
+            round_time += model.prefill_time(req.prompt_len)
+            running.append(_SimSeq(req, produced=0))
+        live = running
+        context = sum(s.request.prompt_len + s.produced for s in live)
+        round_time += model.decode_step_time(len(live), context)
+        batch_acc += len(live)
+        time += round_time
+        still = []
+        for s in live:
+            s.produced += 1
+            if s.produced == 1:
+                s.first_token_time = time
+            if s.produced >= s.request.max_new_tokens:
+                free_blocks += config.blocks_for(s.request.total_tokens)
+                finished.append((
+                    s.request,
+                    s.first_token_time - s.request.arrival_time,
+                    time - s.request.arrival_time,
+                ))
+            else:
+                still.append(s)
+        running = still
+
+    ttft_h = Histogram("sim.serve.ttft")
+    e2e_h = Histogram("sim.serve.e2e")
+    met = 0
+    tokens = 0
+    for req, ttft, e2e in finished:
+        ttft_h.record(ttft)
+        e2e_h.record(e2e)
+        tokens += req.max_new_tokens
+        if e2e <= slo_multiplier * model.unloaded_latency(req):
+            met += 1
+    makespan = max(e2e + req.arrival_time for req, _, e2e in finished) - (
+        pending[0].arrival_time
+    )
+    result = ServingResult(
+        offered_load=offered,
+        num_requests=len(finished),
+        generated_tokens=tokens,
+        makespan=makespan,
+        tokens_per_s=tokens / makespan if makespan > 0 else 0.0,
+        p50_ttft=ttft_h.quantile(0.5),
+        p99_ttft=ttft_h.quantile(0.99),
+        p50_e2e=e2e_h.quantile(0.5),
+        p99_e2e=e2e_h.quantile(0.99),
+        mean_e2e=e2e_h.mean,
+        slo_attainment=met / len(finished),
+        slo_multiplier=slo_multiplier,
+        mean_batch=batch_acc / steps,
+        decode_steps=steps,
+    )
+    tracer = get_tracer()
+    if tracer is not None:
+        tracer.metrics.counter("sim.serve.requests").add(len(finished))
+        tracer.metrics.counter("sim.serve.tokens").add(tokens)
+        tracer.metrics.counter("sim.serve.decode_steps").add(steps)
+        for _, ttft, e2e in finished:
+            tracer.metrics.histogram("sim.serve.ttft_s").record(ttft)
+            tracer.metrics.histogram("sim.serve.e2e_s").record(e2e)
+    return result
+
+
+def _offered_load(pending: list[Request]) -> float:
+    """Observed arrival rate of the trace (requests/second)."""
+    span = pending[-1].arrival_time - pending[0].arrival_time
+    return (len(pending) - 1) / span if span > 0 else float(len(pending))
+
+
+def sweep_offered_load(
+    rates: list[float],
+    num_requests: int,
+    model: ServingModel,
+    config: BatchingConfig | None = None,
+    *,
+    seed: int = 0,
+    slo_multiplier: float = 3.0,
+    prompt_lens: tuple[int, int] = (16, 256),
+    max_new_tokens: tuple[int, int] = (16, 128),
+    trace=poisson_trace,
+) -> list[ServingResult]:
+    """Throughput/latency frontier: one seeded trace per offered rate.
+
+    The same ``seed`` is used at every rate so the *request mix* is held
+    fixed and only the arrival spacing changes — the sweep isolates load,
+    not workload.
+    """
+    results = []
+    for rate in rates:
+        reqs = trace(
+            rate,
+            num_requests,
+            seed=seed,
+            vocab_size=model.cfg.vocab_size,
+            prompt_lens=prompt_lens,
+            max_new_tokens=max_new_tokens,
+        )
+        results.append(
+            simulate_serving(
+                reqs, model, config, slo_multiplier=slo_multiplier
+            )
+        )
+    return results

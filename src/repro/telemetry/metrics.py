@@ -80,6 +80,42 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile (``q`` in [0, 1]).
+
+        Values inside the bucket holding the ``q``-th rank are assumed
+        uniformly spread over the bucket's range clamped to the exact
+        observed ``[min, max]``.  The clamp makes single-bucket
+        distributions exact at the extremes (q=0 -> min, q=1 -> max,
+        and exactly the value itself for constant data); multi-bucket
+        quantiles are accurate to within one power-of-two bucket.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"histogram {self.name}: quantile {q} not in [0, 1]")
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name}: no recorded values")
+        if self.min == self.max:
+            return self.min
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
+        rank = q * (self.count - 1)  # fractional 0-indexed rank
+        seen = 0
+        last = max(self.buckets)
+        for b in sorted(self.buckets):
+            cnt = self.buckets[b]
+            # This bucket covers rank positions [seen, seen + cnt - 1].
+            if rank <= seen + cnt - 1 or b == last:
+                lo = max(0.0 if b == 0 else 2.0 ** (b - 1), self.min)
+                hi = min(2.0**b, self.max)
+                # A lone sample sits somewhere in (lo, hi]; use the
+                # midpoint rather than biasing to either edge.
+                frac = (rank - seen) / (cnt - 1) if cnt > 1 else 0.5
+                return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+            seen += cnt
+        raise AssertionError("unreachable: ranks exhausted before buckets")
+
     def summary(self) -> dict:
         return {
             "count": self.count,
@@ -87,6 +123,8 @@ class Histogram:
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "mean": self.mean,
+            "p50": self.quantile(0.5) if self.count else 0.0,
+            "p99": self.quantile(0.99) if self.count else 0.0,
         }
 
 

@@ -33,6 +33,7 @@ SUBCOMMANDS = {
     "goodput": ("goodput_report", "checkpoint-interval & recovery report"),
     "profile": ("profile_run", "profile a small run under telemetry"),
     "sweep": ("sweep", "sweep grids through the simulator"),
+    "serve-report": ("serve_report", "serving latency/throughput frontier"),
     "reproduce": ("reproduce", "regenerate the paper's headline tables"),
     "gen-api-docs": ("gen_api_docs", "regenerate docs/API.md"),
     "regen-goldens": ("regen_goldens", "regenerate golden schedule traces"),

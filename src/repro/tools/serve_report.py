@@ -1,0 +1,199 @@
+"""Serving frontier report: p50/p99 latency and SLO attainment vs load.
+
+Sweeps offered load over a seeded arrival trace through the serving
+simulator (:mod:`repro.simulate.serving`) and prints the
+throughput/latency frontier of one tensor-parallel serving instance,
+plus a small real-engine smoke run (tiny model, actual floats) whose
+paged-KV write traffic is reported next to the concat-cache baseline.
+
+Usage::
+
+    python -m repro.tools serve-report MODEL TP [MACHINE]
+        [--rates R1,R2,...] [--num-requests N] [--seed N]
+        [--trace poisson|bursty] [--max-batch N] [--block-size N]
+        [--num-blocks N] [--algo flat|hierarchical|auto]
+        [--slo-multiplier F] [--smoke/--no-smoke] [--out DIR]
+
+Examples::
+
+    python -m repro.tools serve-report GPT-20B 8
+    python -m repro.tools serve-report GPT-80B 16 alps --rates 1,4,16,64
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from ..cluster import get_machine
+from ..config import GPTConfig, get_model
+from ..serving import BatchingConfig, bursty_trace, poisson_trace
+from ..simulate.serving import ServingModel, ServingResult, sweep_offered_load
+from ..telemetry.export import write_bench_json
+from .ascii_plot import line_chart
+
+__all__ = ["main"]
+
+
+def _smoke_engine(seed: int) -> dict[str, float]:
+    """Tiny real-engine run: actual floats, paged vs concat KV traffic."""
+    from ..nn.generation import KVCache, generate_greedy
+    from ..nn.transformer import GPT
+    from ..serving import ServingEngine
+
+    cfg = GPTConfig(
+        name="serve-smoke", num_layers=2, hidden_size=32, num_heads=4,
+        seq_len=64, vocab_size=64,
+    )
+    model = GPT(cfg, seed=seed)
+    reqs = poisson_trace(
+        1.0, 8, seed=seed, vocab_size=cfg.vocab_size,
+        prompt_lens=(2, 10), max_new_tokens=(4, 12),
+    )
+    engine = ServingEngine(
+        model, BatchingConfig(max_batch=4, block_size=8, num_blocks=64)
+    )
+    finished = engine.run(reqs)
+    mismatches = 0
+    for fin in finished:
+        ref = generate_greedy(
+            model, fin.request.prompt, fin.request.max_new_tokens
+        )
+        if not np.array_equal(fin.tokens, ref):
+            mismatches += 1
+    tokens = sum(f.num_tokens for f in finished)
+    return {
+        "requests": len(finished),
+        "tokens": tokens,
+        "token_mismatches_vs_greedy": mismatches,
+        "paged_copied_bytes": engine.kv.copied_bytes,
+        "decode_steps": engine.step_count,
+    }
+
+
+def _frontier_table(results: list[ServingResult]) -> str:
+    head = (
+        f"{'rate r/s':>9} {'tok/s':>9} {'p50 ttft':>9} {'p99 ttft':>9} "
+        f"{'p50 e2e':>9} {'p99 e2e':>9} {'SLO':>6} {'batch':>6}"
+    )
+    rows = [head, "-" * len(head)]
+    for r in results:
+        rows.append(
+            f"{r.offered_load:9.3f} {r.tokens_per_s:9.1f} "
+            f"{r.p50_ttft:9.3f} {r.p99_ttft:9.3f} "
+            f"{r.p50_e2e:9.3f} {r.p99_e2e:9.3f} "
+            f"{r.slo_attainment:6.2f} {r.mean_batch:6.1f}"
+        )
+    return "\n".join(rows)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools serve-report",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("model", help="model name, e.g. GPT-20B")
+    parser.add_argument("tp", type=int, help="tensor-parallel degree")
+    parser.add_argument(
+        "machine", nargs="?", default="frontier",
+        help="machine name (default: frontier)",
+    )
+    parser.add_argument(
+        "--rates", default="0.5,1,2,4,8,16",
+        help="comma-separated offered loads (requests/s)",
+    )
+    parser.add_argument("--num-requests", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--trace", choices=("poisson", "bursty"), default="poisson"
+    )
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--block-size", type=int, default=16)
+    parser.add_argument("--num-blocks", type=int, default=8192)
+    parser.add_argument(
+        "--algo", choices=("flat", "hierarchical", "auto"), default="auto"
+    )
+    parser.add_argument("--slo-multiplier", type=float, default=3.0)
+    parser.add_argument(
+        "--no-smoke", action="store_true",
+        help="skip the tiny real-engine numerical smoke run",
+    )
+    parser.add_argument("--out", default=None, help="BENCH json directory")
+    args = parser.parse_args(argv)
+
+    cfg = get_model(args.model)
+    machine = get_machine(args.machine)
+    rates = [float(r) for r in args.rates.split(",") if r]
+    model = ServingModel(
+        cfg, machine, tp=args.tp, collective_algo=args.algo
+    )
+    batching = BatchingConfig(
+        max_batch=args.max_batch,
+        block_size=args.block_size,
+        num_blocks=args.num_blocks,
+    )
+    trace = poisson_trace if args.trace == "poisson" else bursty_trace
+    results = sweep_offered_load(
+        rates, args.num_requests, model, batching,
+        seed=args.seed, slo_multiplier=args.slo_multiplier, trace=trace,
+    )
+
+    print(
+        f"Serving frontier: {cfg.name} tp={args.tp} on {machine.name} "
+        f"({args.trace} trace, {args.num_requests} requests, "
+        f"seed {args.seed}, algo {args.algo})"
+    )
+    print()
+    print(_frontier_table(results))
+    print()
+    print(
+        line_chart(
+            [r.offered_load for r in results],
+            {
+                "p99 e2e (s)": [r.p99_e2e for r in results],
+                "p50 e2e (s)": [r.p50_e2e for r in results],
+            },
+            x_label="offered load (requests/s)",
+        )
+    )
+
+    smoke = None
+    if not args.no_smoke:
+        smoke = _smoke_engine(args.seed)
+        print(
+            f"engine smoke: {smoke['requests']} requests, "
+            f"{smoke['tokens']} tokens, "
+            f"{smoke['token_mismatches_vs_greedy']} mismatches vs "
+            f"per-request greedy, paged KV wrote "
+            f"{smoke['paged_copied_bytes']:,} bytes"
+        )
+
+    if args.out:
+        metrics: dict[str, object] = {
+            "frontier": [r.to_dict() for r in results],
+            "tokens_per_s_max": max(r.tokens_per_s for r in results),
+            "p99_e2e_s_max": max(r.p99_e2e for r in results),
+        }
+        if smoke is not None:
+            metrics["engine_smoke"] = smoke
+        path = write_bench_json(
+            args.out,
+            "serving_frontier",
+            metrics,
+            meta={
+                "model": cfg.name,
+                "machine": machine.name,
+                "tp": args.tp,
+                "trace": args.trace,
+                "seed": args.seed,
+                "algo": args.algo,
+                "num_requests": args.num_requests,
+            },
+        )
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

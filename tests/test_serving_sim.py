@@ -1,0 +1,165 @@
+"""Serving simulator tests: analytic costs, the virtual-time loop, the
+offered-load frontier, and the serve-report CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import FRONTIER, PERLMUTTER
+from repro.config import get_model
+from repro.serving import BatchingConfig, Request, poisson_trace
+from repro.simulate.serving import (
+    ServingModel,
+    simulate_serving,
+    sweep_offered_load,
+)
+
+
+def small_model(tp=4, algo="flat"):
+    return ServingModel(get_model("GPT-5B"), FRONTIER, tp=tp,
+                        collective_algo=algo)
+
+
+class TestServingModelCosts:
+    def test_costs_are_positive_and_scale(self):
+        m = small_model()
+        assert m.prefill_time(64) > 0
+        assert m.prefill_time(128) > m.prefill_time(64)
+        assert m.decode_step_time(1, 100) > 0
+        # Longer context reads more KV.
+        assert m.decode_step_time(1, 4000) > m.decode_step_time(1, 100)
+
+    def test_decode_batching_amortizes_the_weight_stream(self):
+        """8 sequences in one step must be far cheaper than 8 steps of
+        1 — the roofline argument for continuous batching."""
+        m = small_model()
+        together = m.decode_step_time(8, 800)
+        alone = 8 * m.decode_step_time(1, 100)
+        assert together < alone / 2
+
+    def test_tp_divides_memory_time(self):
+        t1 = ServingModel(get_model("GPT-5B"), FRONTIER, tp=1)
+        t8 = ServingModel(get_model("GPT-5B"), FRONTIER, tp=8)
+        # More devices stream the weights faster, even after paying
+        # the all-reduce the tp=1 instance avoids entirely.
+        assert t8.decode_step_time(1, 100) < t1.decode_step_time(1, 100)
+
+    def test_collective_algo_never_slows_the_step(self):
+        """"auto" takes min(flat, hierarchical): it can only help."""
+        cfg = get_model("GPT-20B")
+        flat = ServingModel(cfg, PERLMUTTER, tp=8, collective_algo="flat")
+        auto = ServingModel(cfg, PERLMUTTER, tp=8, collective_algo="auto")
+        for batch in (1, 16, 64):
+            assert auto.decode_step_time(batch, 100) <= (
+                flat.decode_step_time(batch, 100)
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServingModel(get_model("GPT-5B"), FRONTIER, tp=0)
+        with pytest.raises(ValueError):
+            # GPT-5B has 32 heads; 5 does not divide them.
+            ServingModel(get_model("GPT-5B"), FRONTIER, tp=5)
+
+
+class TestSimulateServing:
+    def _trace(self, rate, n=24, seed=0):
+        return poisson_trace(rate, n, seed=seed, vocab_size=64,
+                             prompt_lens=(16, 64), max_new_tokens=(8, 32))
+
+    def test_deterministic(self):
+        m = small_model()
+        cfgb = BatchingConfig(max_batch=8, num_blocks=2048)
+        a = simulate_serving(self._trace(2.0), m, cfgb)
+        b = simulate_serving(self._trace(2.0), m, cfgb)
+        assert a == b
+
+    def test_all_requests_finish(self):
+        m = small_model()
+        res = simulate_serving(self._trace(4.0), m,
+                               BatchingConfig(max_batch=8, num_blocks=2048))
+        assert res.num_requests == 24
+        assert res.generated_tokens == sum(
+            r.max_new_tokens for r in self._trace(4.0)
+        )
+        assert res.makespan > 0
+        assert res.p50_e2e <= res.p99_e2e
+        assert res.p50_ttft <= res.p99_ttft
+        assert 0.0 <= res.slo_attainment <= 1.0
+
+    def test_load_raises_latency_and_throughput(self):
+        """The frontier's defining shape: more offered load, more
+        tokens/s, worse tail latency."""
+        m = small_model()
+        cfgb = BatchingConfig(max_batch=8, num_blocks=2048)
+        lo, hi = sweep_offered_load(
+            [0.2, 50.0], 24, m, cfgb, seed=0,
+            prompt_lens=(16, 64), max_new_tokens=(8, 32),
+        )
+        assert hi.tokens_per_s > lo.tokens_per_s
+        assert hi.p99_e2e > lo.p99_e2e
+        assert hi.mean_batch > lo.mean_batch
+
+    def test_saturation_breaks_the_slo(self):
+        """A single-slot instance under heavy load must queue requests
+        past the slowdown SLO."""
+        m = small_model()
+        res = simulate_serving(
+            self._trace(200.0), m,
+            BatchingConfig(max_batch=1, num_blocks=2048),
+            slo_multiplier=2.0,
+        )
+        assert res.slo_attainment < 1.0
+        assert res.mean_batch <= 1.0
+
+    def test_sweep_holds_request_mix_fixed(self):
+        m = small_model()
+        cfgb = BatchingConfig(max_batch=8, num_blocks=2048)
+        res = sweep_offered_load([0.5, 8.0], 12, m, cfgb, seed=3)
+        assert res[0].generated_tokens == res[1].generated_tokens
+        assert res[0].offered_load < res[1].offered_load
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_serving([], small_model())
+
+    def test_head_of_line_semantics_match_engine(self):
+        """The sim admits through the same ContinuousBatcher: a huge
+        head request blocks later small ones even when they fit."""
+        m = small_model()
+        big = Request(0, np.ones(400, dtype=np.int64), 100, 0.0)
+        small = Request(1, np.ones(4, dtype=np.int64), 4, 0.0)
+        cfgb = BatchingConfig(max_batch=4, block_size=16, num_blocks=40)
+        res = simulate_serving([big, small], m, cfgb)
+        assert res.num_requests == 2
+        # The small request cannot overtake: it finishes after the big
+        # one started decoding, so its e2e includes the blocked wait.
+        assert res.p99_e2e > res.p50_ttft
+
+
+class TestServeReportCLI:
+    def test_end_to_end(self, tmp_path, capsys):
+        from repro.tools.serve_report import main
+
+        rc = main([
+            "GPT-5B", "4", "frontier",
+            "--rates", "0.5,4",
+            "--num-requests", "12",
+            "--out", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Serving frontier" in out
+        assert "0 mismatches" in out
+        doc = json.loads((tmp_path / "BENCH_serving_frontier.json").read_text())
+        metrics = doc["metrics"]
+        assert len(metrics["frontier"]) == 2
+        assert metrics["tokens_per_s_max"] > 0
+        assert metrics["engine_smoke"]["token_mismatches_vs_greedy"] == 0
+        assert metrics["engine_smoke"]["paged_copied_bytes"] > 0
+
+    def test_dispatcher_knows_serve_report(self):
+        from repro.tools import SUBCOMMANDS
+
+        assert "serve-report" in SUBCOMMANDS

@@ -424,3 +424,64 @@ class TestFlamegraph:
                 pass
         evs = tracer_events(tr)
         assert [e.args["depth"] for e in evs] == [1, 0]
+
+
+class TestHistogramQuantile:
+    """Bucket-interpolated quantiles: exact on single-bucket
+    distributions, clamped to [min, max], monotone in q."""
+
+    def test_constant_distribution_is_exact(self):
+        h = MetricsRegistry().histogram("h")
+        for _ in range(10):
+            h.record(5.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 5.0
+
+    def test_two_points_one_bucket_interpolate_exactly(self):
+        # 3.0 and 4.0 share bucket (2, 4]; the [min, max] clamp makes
+        # the within-bucket interpolation exact, not just bounded.
+        h = MetricsRegistry().histogram("h")
+        h.record(3.0)
+        h.record(4.0)
+        assert h.quantile(0.0) == 3.0
+        assert h.quantile(1.0) == 4.0
+        assert h.quantile(0.5) == pytest.approx(3.5)
+
+    def test_quantiles_are_monotone_and_bounded(self):
+        h = MetricsRegistry().histogram("h")
+        rng = np.random.default_rng(0)
+        for v in rng.uniform(0.1, 900.0, 200):
+            h.record(v)
+        qs = [h.quantile(q) for q in (0.0, 0.1, 0.5, 0.9, 0.99, 1.0)]
+        assert qs == sorted(qs)
+        assert qs[0] >= h.min and qs[-1] <= h.max
+        assert h.quantile(0.0) == h.min
+        assert h.quantile(1.0) == h.max
+
+    def test_p99_lands_in_top_bucket(self):
+        h = MetricsRegistry().histogram("h")
+        for _ in range(99):
+            h.record(1.0)
+        h.record(1000.0)
+        # rank 0.99 * 99 = 98.01 sits just inside the tail bucket.
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(0.99) > 1.0
+
+    def test_errors(self):
+        h = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            h.quantile(0.5)  # empty
+        h.record(2.0)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_summary_includes_quantiles(self):
+        h = MetricsRegistry().histogram("h")
+        s = h.summary()
+        assert s["p50"] == 0.0 and s["p99"] == 0.0
+        for _ in range(4):
+            h.record(7.0)
+        s = h.summary()
+        assert s["p50"] == 7.0 and s["p99"] == 7.0
