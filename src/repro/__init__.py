@@ -64,7 +64,10 @@ from .runtime import collective_policy_scope
 from .serving import (
     BatchingConfig,
     PagedKVCache,
+    RejectedRequest,
     Request,
+    ResilienceReport,
+    ResilientTPEngine,
     ServingEngine,
     TensorParallelDecoder,
     poisson_trace,
@@ -115,8 +118,11 @@ __all__ = [
     "poisson_trace",
     "BatchingConfig",
     "PagedKVCache",
+    "RejectedRequest",
     "ServingEngine",
     "TensorParallelDecoder",
+    "ResilientTPEngine",
+    "ResilienceReport",
     # telemetry
     "Tracer",
     "get_tracer",

@@ -63,10 +63,15 @@ from .process_group import CommEvent, ProcessGroup
 __all__ = [
     "FaultError",
     "RankFailure",
+    "DecodeRankFailure",
     "DesyncError",
     "CommTimeoutError",
     "TornWriteError",
     "CheckpointCorruptionError",
+    "RequestRejectedError",
+    "RequestShedError",
+    "DeadlineExceededError",
+    "PreemptedError",
     "FaultSpec",
     "FaultPlan",
     "RetryPolicy",
@@ -162,14 +167,81 @@ class CheckpointCorruptionError(FaultError):
         super().__init__(f"checkpoint {path} failed verification: {detail}")
 
 
+class DecodeRankFailure(RankFailure):
+    """A tensor-parallel rank fail-stopped *mid-decode* and the serving
+    engine could not recover (no viable shrunk group, or the recovery
+    budget is exhausted).
+
+    Distinguished from a training-time :class:`RankFailure` because the
+    blast radius differs: a serving-side kill loses in-flight KV state
+    for every sequence sharded over the dead rank, not optimizer state.
+    """
+
+
+class RequestRejectedError(FaultError):
+    """A request can never be served (over model context or KV capacity).
+
+    The serving engines normally surface this as a typed
+    ``RejectedRequest`` outcome rather than raising; the exception class
+    exists so strict callers and :func:`fault_cause` accounting share
+    one taxonomy.
+    """
+
+    def __init__(self, request_id: int, detail: str) -> None:
+        self.request_id = request_id
+        self.detail = detail
+        super().__init__(f"request {request_id} rejected: {detail}")
+
+
+class RequestShedError(FaultError):
+    """A request was shed by overload backpressure (bounded queue full)."""
+
+    def __init__(self, request_id: int, queue_len: int) -> None:
+        self.request_id = request_id
+        self.queue_len = queue_len
+        super().__init__(
+            f"request {request_id} shed: waiting queue full ({queue_len})"
+        )
+
+
+class DeadlineExceededError(FaultError):
+    """A request's deadline / TTFT budget expired before admission."""
+
+    def __init__(self, request_id: int, deadline: float, now: float) -> None:
+        self.request_id = request_id
+        self.deadline = deadline
+        self.now = now
+        super().__init__(
+            f"request {request_id} missed deadline {deadline:g} (now {now:g})"
+        )
+
+
+class PreemptedError(FaultError):
+    """A sequence was preempted for KV-block pressure.
+
+    The engines preempt-and-recompute internally (the request still
+    completes), so this is raised only by strict callers that want
+    preemption to be fatal; it exists mainly for taxonomy completeness.
+    """
+
+    def __init__(self, seq_id: int, step: int) -> None:
+        self.seq_id = seq_id
+        self.step = step
+        super().__init__(f"sequence {seq_id} preempted at step {step}")
+
+
 def fault_cause(exc: BaseException) -> str:
     """Classify a fault exception for restart-cause accounting.
 
-    Returns one of ``"kill"``, ``"timeout"``, ``"corruption"``,
-    ``"desync"``, or ``"other"`` — the categories the goodput analysis
-    distinguishes (a kill costs a node, a timeout is transient, a
-    corruption costs checkpoint history).
+    Returns one of ``"kill"``, ``"decode_kill"``, ``"timeout"``,
+    ``"corruption"``, ``"desync"``, ``"rejected"``, ``"shed"``,
+    ``"deadline"``, ``"preempted"``, or ``"other"`` — the categories the
+    goodput and chaos-serving analyses distinguish (a kill costs a node,
+    a timeout is transient, a corruption costs checkpoint history, the
+    serving causes bucket per-request outcomes under overload/failure).
     """
+    if isinstance(exc, DecodeRankFailure):
+        return "decode_kill"
     if isinstance(exc, RankFailure):
         return "kill"
     if isinstance(exc, CommTimeoutError):
@@ -178,6 +250,14 @@ def fault_cause(exc: BaseException) -> str:
         return "corruption"
     if isinstance(exc, DesyncError):
         return "desync"
+    if isinstance(exc, RequestRejectedError):
+        return "rejected"
+    if isinstance(exc, RequestShedError):
+        return "shed"
+    if isinstance(exc, DeadlineExceededError):
+        return "deadline"
+    if isinstance(exc, PreemptedError):
+        return "preempted"
     return "other"
 
 

@@ -3,16 +3,26 @@
 The serving analog of the training stack: an admission queue fed by
 seeded arrival traces (:mod:`repro.serving.arrivals`), a block-allocated
 paged KV cache (:mod:`repro.serving.paged_kv`), a shared continuous-
-batching policy (:mod:`repro.serving.scheduler`), the real greedy
-decoding engine (:mod:`repro.serving.engine`), and tensor-parallel
-decode over the 4D grid (:mod:`repro.serving.tp`).  The simulator
-mirror lives in :mod:`repro.simulate.serving`.
+batching policy with overload protection (:mod:`repro.serving.scheduler`),
+the real greedy decoding engine with KV-pressure preemption
+(:mod:`repro.serving.engine`), tensor-parallel decode over the 4D grid
+(:mod:`repro.serving.tp`), and the failure-hardened TP engine that
+survives injected kills/drops/delays (:mod:`repro.serving.resilience`).
+The simulator mirror lives in :mod:`repro.simulate.serving`.
 """
 
 from .arrivals import Request, bursty_trace, poisson_trace, synthetic_requests
 from .engine import FinishedRequest, ServingEngine, batched_decode_step
 from .paged_kv import BlockAllocator, CacheOutOfBlocks, PagedKVCache
-from .scheduler import BatchingConfig, ContinuousBatcher
+from .resilience import ResilienceReport, ResilientTPEngine
+from .scheduler import (
+    REJECT_DEADLINE,
+    REJECT_REJECTED,
+    REJECT_SHED,
+    BatchingConfig,
+    ContinuousBatcher,
+    RejectedRequest,
+)
 from .tp import TensorParallelDecoder
 
 __all__ = [
@@ -25,8 +35,14 @@ __all__ = [
     "CacheOutOfBlocks",
     "BatchingConfig",
     "ContinuousBatcher",
+    "RejectedRequest",
+    "REJECT_REJECTED",
+    "REJECT_SHED",
+    "REJECT_DEADLINE",
     "ServingEngine",
     "FinishedRequest",
     "batched_decode_step",
     "TensorParallelDecoder",
+    "ResilientTPEngine",
+    "ResilienceReport",
 ]

@@ -34,8 +34,13 @@ from ..telemetry.spans import get_tracer
 from ..tensor import Tensor, no_grad
 from ..tensor import functional as F
 from .arrivals import Request
-from .paged_kv import PagedKVCache
-from .scheduler import BatchingConfig, ContinuousBatcher
+from .paged_kv import CacheOutOfBlocks, PagedKVCache
+from .scheduler import (
+    REJECT_REJECTED,
+    BatchingConfig,
+    ContinuousBatcher,
+    RejectedRequest,
+)
 
 __all__ = ["FinishedRequest", "ServingEngine", "batched_decode_step"]
 
@@ -58,6 +63,9 @@ class FinishedRequest:
     admitted_time: float = 0.0
     first_token_time: float = 0.0
     finish_time: float = 0.0
+    #: How many times the sequence was preempted for KV pressure (each
+    #: preemption was followed by a bitwise-exact recompute-restart).
+    preemptions: int = 0
 
     @property
     def ttft(self) -> float:
@@ -84,6 +92,7 @@ class _Running:
     admitted_time: float
     out: list[int] = field(default_factory=list)
     done: bool = False
+    preemptions: int = 0
 
 
 def batched_decode_step(
@@ -164,9 +173,20 @@ class ServingEngine:
 
     The engine owns a :class:`ContinuousBatcher` (admission policy), a
     :class:`PagedKVCache` (block pool sized by ``config``), and a greedy
-    sampler.  Admission reserves a request's worst-case KV footprint
-    up front, so a running sequence can never fail a block allocation
-    mid-decode (see the scheduler module docstring).
+    sampler.  Under the default *optimistic* reservation, admission
+    reserves only ``prompt + 1`` KV tokens and each decode round grows
+    reservations one token at a time; when the pool runs dry the
+    youngest sequence is preempted (blocks freed, generated tokens
+    kept) and later recompute-restarted by replaying exactly the
+    original operation sequence — prompt prefill followed by one decode
+    step per already-emitted token — so restarted requests stay bitwise
+    identical to a lone :func:`~repro.nn.generation.generate_greedy`
+    run.  Under ``reservation="worst_case"`` the PR 7 invariant holds
+    and the preemption path is never exercised.
+
+    Overload never raises: requests that cannot be served end as typed
+    :class:`~repro.serving.scheduler.RejectedRequest` outcomes on
+    ``self.rejected`` (causes ``rejected`` / ``shed`` / ``deadline``).
     """
 
     def __init__(
@@ -189,34 +209,56 @@ class ServingEngine:
         )
         self.running: list[_Running] = []
         self.finished: list[FinishedRequest] = []
+        self.rejected: list[RejectedRequest] = []
+        self.preempted: list[_Running] = []
         self.step_count = 0
         self.time = 0.0
         self._next_seq_id = 0
 
     # -- request intake ----------------------------------------------------
 
-    def submit(self, request: Request) -> None:
-        """Queue a request for admission (FIFO)."""
-        if request.total_tokens > self.model.cfg.seq_len:
-            raise ValueError(
-                f"request {request.request_id} needs "
-                f"{request.total_tokens} context tokens; the model's "
-                f"window is {self.model.cfg.seq_len}"
-            )
-        self.batcher.enqueue(request)
+    def submit(self, request: Request) -> RejectedRequest | None:
+        """Queue a request for admission (FIFO).
+
+        Returns the typed rejection if the request cannot be served
+        (over the model context, over the block pool, or shed by the
+        bounded queue); ``None`` means it was queued.
+        """
         self._count("serve.requests", 1)
+        if request.total_tokens > self.model.cfg.seq_len:
+            rej = RejectedRequest(
+                request=request, cause=REJECT_REJECTED, time=self.time
+            )
+            self.rejected.append(rej)
+            self._count("serve.rejected", 1)
+            return rej
+        rej = self.batcher.enqueue(request, now=self.time)
+        self._drain_rejections()
+        return rej
+
+    def _drain_rejections(self) -> None:
+        for rej in self.batcher.drain_rejections():
+            self.rejected.append(rej)
+            self._count(f"serve.{rej.cause}", 1)
 
     # -- one scheduling round ---------------------------------------------
 
     def step(self) -> list[FinishedRequest]:
-        """Admit, prefill, decode one token, evict; returns this round's
-        completions."""
+        """Resume preempted, admit, prefill, decode one token, evict;
+        returns this round's completions."""
         self.step_count += 1
-        for req in self.batcher.admit(
-            len(self.running), self.kv.allocator.num_free
-        ):
-            self._admit(req)
-        live = [r for r in self.running if not r.done]
+        self._resume_preempted()
+        if self.preempted:
+            # Blocked resumes take priority over new admissions (they are
+            # older), but expired waiters are still swept.
+            self.batcher.shed_expired(self.time)
+        else:
+            for req in self.batcher.admit(
+                len(self.running), self.kv.allocator.num_free, now=self.time
+            ):
+                self._admit(req)
+        self._drain_rejections()
+        live = self._grow_blocks([r for r in self.running if not r.done])
         if live:
             tokens = np.asarray([r.out[-1] for r in live], dtype=np.int64)
             logits = batched_decode_step(
@@ -234,8 +276,10 @@ class ServingEngine:
         seq_id = self._next_seq_id
         self._next_seq_id += 1
         self.kv.add_sequence(seq_id)
-        # Reserve the worst case now; admission already accounted for it.
-        self.kv.reserve(seq_id, req.total_tokens)
+        # Reserve what admission accounted for: the worst case under
+        # "worst_case", just the prompt plus the first decode write
+        # under "optimistic".
+        self.kv.reserve(seq_id, self.config.reserve_tokens(req))
         state = _Running(
             request=req,
             seq_id=seq_id,
@@ -253,6 +297,98 @@ class ServingEngine:
         self._count("serve.admitted", 1)
         self._count("serve.prefill_tokens", req.prompt_len)
         self._maybe_finish(state)
+
+    # -- KV-pressure preemption -------------------------------------------
+
+    def _grow_blocks(self, live: list[_Running]) -> list[_Running]:
+        """Ensure every live sequence can write one more token.
+
+        Oldest-first; when the pool is dry the *youngest* live sequence
+        is preempted until the current one fits (vLLM's policy).  The
+        oldest sequence is never sacrificed for a younger one, so it
+        strictly progresses and preemption cannot livelock.  Returns the
+        sequences that still decode this round, in the original order.
+        """
+        victims: set[int] = set()
+        for r in sorted(live, key=lambda r: r.seq_id):
+            if r.seq_id in victims:
+                continue
+            while True:
+                try:
+                    self.kv.reserve(r.seq_id, 1)
+                    break
+                except CacheOutOfBlocks:
+                    candidates = [
+                        c
+                        for c in self.running
+                        if not c.done and c.seq_id not in victims
+                    ]
+                    victim = max(candidates, key=lambda c: c.seq_id)
+                    victims.add(victim.seq_id)
+                    self._preempt(victim)
+                    if victim is r:
+                        break
+        return [r for r in live if r.seq_id not in victims]
+
+    def _preempt(self, r: _Running) -> None:
+        """Release a sequence's blocks; it keeps its generated tokens and
+        will be recompute-restarted by :meth:`_resume_preempted`."""
+        self.kv.free_sequence(r.seq_id)
+        self.running.remove(r)
+        r.preemptions += 1
+        self.preempted.append(r)
+        self._count("serve.preemptions", 1)
+
+    def _resume_preempted(self) -> None:
+        """Recompute-restart preempted sequences, oldest first.
+
+        The restart replays exactly the original operation sequence —
+        prompt prefill, then one single-sequence decode step per
+        already-emitted token (whose logits re-derive tokens we already
+        have and are discarded) — so the rebuilt KV is bitwise identical
+        to the state before preemption and the continuation matches a
+        lone ``generate_greedy`` run.  Head-of-line order: the first
+        resume that does not fit blocks everything younger.
+        """
+        for r in sorted(self.preempted, key=lambda r: r.seq_id):
+            ctx_len = r.request.prompt_len + len(r.out) - 1
+            need = self.kv.blocks_for(
+                r.request.total_tokens
+                if self.config.reservation == "worst_case"
+                else ctx_len + 1
+            )
+            if (
+                len(self.running) >= self.config.max_batch
+                or need > self.kv.allocator.num_free
+            ):
+                break
+            self._resume(r, ctx_len)
+
+    def _resume(self, r: _Running, ctx_len: int) -> None:
+        req = r.request
+        self.kv.add_sequence(r.seq_id)
+        self.kv.reserve(
+            r.seq_id,
+            req.total_tokens
+            if self.config.reservation == "worst_case"
+            else ctx_len + 1,
+        )
+        logits, cache = prefill(self.model, req.prompt[None, :])
+        for layer, (k, v) in enumerate(zip(cache.keys, cache.values)):
+            self.kv.write(r.seq_id, layer, k[0], v[0])
+        self.kv.advance(r.seq_id, req.prompt_len)
+        for t in r.out[:-1]:
+            batched_decode_step(
+                self.model,
+                np.asarray([t], dtype=np.int64),
+                self.kv,
+                [r.seq_id],
+            )
+        self.preempted.remove(r)
+        self.running.append(r)
+        self.running.sort(key=lambda c: c.seq_id)
+        self._count("serve.resumes", 1)
+        self._count("serve.recompute_tokens", ctx_len)
 
     def _maybe_finish(self, r: _Running) -> None:
         if len(r.out) >= r.request.max_new_tokens:
@@ -274,6 +410,7 @@ class ServingEngine:
                 admitted_time=r.admitted_time,
                 first_token_time=r.admitted_time,
                 finish_time=self.time,
+                preemptions=r.preemptions,
             )
             self.finished.append(fin)
             out.append(fin)
@@ -297,16 +434,28 @@ class ServingEngine:
         The virtual clock advances ``step_time`` seconds per scheduling
         round; a request is visible to admission once its
         ``arrival_time`` has passed.  Returns completions in finish
-        order.
+        order; requests that ended in a typed non-completion outcome
+        accumulate on ``self.rejected``.
         """
         pending = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
         i = 0
         start = len(self.finished)
-        while i < len(pending) or self.batcher.num_waiting or self.running:
+        while (
+            i < len(pending)
+            or self.batcher.num_waiting
+            or self.running
+            or self.preempted
+        ):
             while i < len(pending) and pending[i].arrival_time <= self.time:
                 self.submit(pending[i])
                 i += 1
-            if not self.batcher.num_waiting and not self.running:
+            if (
+                not self.batcher.num_waiting
+                and not self.running
+                and not self.preempted
+            ):
+                if i >= len(pending):
+                    break  # everything left ended in a typed rejection
                 # Idle: jump to the next arrival instead of spinning.
                 self.time = pending[i].arrival_time
                 continue

@@ -31,9 +31,10 @@ __all__ = ["CacheOutOfBlocks", "BlockAllocator", "PagedKVCache"]
 class CacheOutOfBlocks(RuntimeError):
     """The block pool cannot satisfy an allocation.
 
-    The scheduler prevents this for admitted sequences by reserving each
-    request's worst-case footprint at admission; seeing this error means
-    the caller bypassed admission control.
+    Under worst-case reservation the scheduler prevents this for
+    admitted sequences; under optimistic reservation (the default since
+    the resilience work) the engine catches it mid-decode and preempts
+    the youngest sequence to free blocks.
     """
 
 
@@ -132,6 +133,11 @@ class PagedKVCache:
 
     def seq_len(self, seq_id: int) -> int:
         return self._lens[seq_id]
+
+    def has_sequence(self, seq_id: int) -> bool:
+        """Whether ``seq_id`` is currently tracked (idempotent add/replay
+        guards in the recovery paths check this before re-adding)."""
+        return seq_id in self._tables
 
     @property
     def num_sequences(self) -> int:

@@ -1,0 +1,455 @@
+"""Failure-hardened tensor-parallel serving engine.
+
+The paper's premise — democratized LLM infrastructure must survive real
+supercomputer conditions — applies to inference as much as training:
+ranks fail-stop mid-decode, NICs drop and delay messages, and offered
+load exceeds capacity.  This module serves requests over the
+:class:`~repro.serving.tp.TensorParallelDecoder` with the training
+stack's deterministic adversary installed
+(:class:`~repro.runtime.faults.FaultInjector` over the traced
+collectives) and recovers from what it injects:
+
+* **transient faults** (``drop_p2p`` / ``delay_p2p`` beyond the
+  :class:`~repro.runtime.faults.RetryPolicy` budget surface as
+  :class:`~repro.runtime.faults.CommTimeoutError`) — the failed forward
+  is simply re-issued.  A TP forward is *idempotent until commit*: KV
+  writes land at uncommitted offsets and ``advance`` runs only after
+  the last collective, so a retry rewrites the same slots with the same
+  bytes;
+* **fail-stop ranks** (``kill`` → :class:`~repro.runtime.faults.RankFailure`)
+  — the engine sweeps every armed kill
+  (:meth:`~repro.runtime.faults.FaultInjector.collect_armed_kills`),
+  picks the largest X-axis degree the survivors support (the PR 3
+  elastic planner's :func:`~repro.core.elastic.grid_fits` checks,
+  ``gx = 1`` always fits so a lone survivor still serves), calls
+  :meth:`~repro.runtime.faults.FaultInjector.restart`, rebuilds the
+  decoder on the shrunk grid, and **recomputes** every in-flight
+  sequence's KV state by replaying its prompt prefill plus one decode
+  step per already-emitted token.  There is no KV checkpoint to restore
+  — recompute *is* the buddy store of serving, because the generated
+  tokens (a few int64s per sequence) are the entire recoverable state;
+* **overload** — the same bounded-queue / deadline / optimistic-
+  admission / preempt-youngest machinery as the serial
+  :class:`~repro.serving.engine.ServingEngine`, sharing its
+  :class:`~repro.serving.scheduler.ContinuousBatcher` policy class.
+
+Identity contract under chaos: every request that *completes* emits
+greedy tokens equal to a lone ``generate_greedy`` run — kills, retries,
+preemptions and shrinks change *when* tokens are computed and on how
+many ranks, never *which* arithmetic produces them (bitflip faults are
+silent data corruption and deliberately excluded: they change payload
+bits by definition).  Every request that does not complete ends as a
+typed :class:`~repro.serving.scheduler.RejectedRequest`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster import Placement
+from ..core.elastic import grid_fits
+from ..core.grid import Grid4D, GridConfig
+from ..nn.transformer import GPT
+from ..runtime.faults import (
+    CommTimeoutError,
+    DecodeRankFailure,
+    FaultInjector,
+    RankFailure,
+    fault_scope,
+)
+from .arrivals import Request
+from .engine import FinishedRequest, ServingEngine, _Running
+from .paged_kv import CacheOutOfBlocks
+from .scheduler import (
+    REJECT_REJECTED,
+    BatchingConfig,
+    ContinuousBatcher,
+    RejectedRequest,
+)
+from .tp import TensorParallelDecoder
+
+__all__ = ["ResilienceReport", "ResilientTPEngine"]
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """What the adversary did and what it cost, for one served trace."""
+
+    #: Completed requests (greedy tokens intact).
+    num_finished: int
+    #: Typed non-completions, bucketed by ``fault_cause``-style cause.
+    rejected_by_cause: dict[str, int]
+    #: KV-pressure preemption events (each later recompute-restarted).
+    preemptions: int
+    #: Fail-stop ranks absorbed mid-decode.
+    rank_failures: int
+    #: Forwards re-issued after a transient comm timeout.
+    step_timeouts: int
+    #: Tokens recomputed by preemption restarts and shrink replays.
+    recompute_tokens: int
+    #: ``(step, old_gx, new_gx)`` per recovery re-formation.
+    shrink_history: list[tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def survived_faults(self) -> int:
+        return self.rank_failures + self.step_timeouts
+
+
+class ResilientTPEngine:
+    """Chaos-hardened serving over tensor-parallel decode.
+
+    Mirrors :class:`~repro.serving.engine.ServingEngine` round for round
+    (same :class:`ContinuousBatcher`, same preempt-youngest /
+    resume-oldest policy) but executes prefill and decode on a
+    :class:`TensorParallelDecoder` whose collectives run inside
+    ``fault_scope(injector)``.  Every forward is issued through a
+    guarded retry loop: comm timeouts re-issue the forward, rank
+    failures shrink the X group and replay in-flight KV, and only an
+    unservable topology (all ranks dead, or the recovery budget
+    exhausted) escapes as :class:`DecodeRankFailure`.
+    """
+
+    def __init__(
+        self,
+        model: GPT,
+        grid: Grid4D,
+        config: BatchingConfig | None = None,
+        *,
+        injector: FaultInjector | None = None,
+        eos_id: int | None = None,
+        max_recoveries: int = 8,
+    ) -> None:
+        self.model = model
+        self.grid = grid
+        self.config = config or BatchingConfig()
+        self.injector = injector
+        self.eos_id = eos_id
+        self.max_recoveries = max_recoveries
+        self.batcher = ContinuousBatcher(self.config)
+        self.decoder = TensorParallelDecoder(
+            model,
+            grid,
+            block_size=self.config.block_size,
+            num_blocks=self.config.num_blocks,
+        )
+        self.running: list[_Running] = []
+        self.preempted: list[_Running] = []
+        self.finished: list[FinishedRequest] = []
+        self.rejected: list[RejectedRequest] = []
+        self.step_count = 0
+        self.time = 0.0
+        self._next_seq_id = 0
+        self.stats: Counter = Counter()
+        self.shrink_history: list[tuple[int, int, int]] = []
+
+    # -- request intake ----------------------------------------------------
+
+    def submit(self, request: Request) -> RejectedRequest | None:
+        """Queue a request; returns its typed rejection if unservable."""
+        ServingEngine._count("serve.tp.requests", 1)
+        if request.total_tokens > self.model.cfg.seq_len:
+            rej = RejectedRequest(
+                request=request, cause=REJECT_REJECTED, time=self.time
+            )
+            self.rejected.append(rej)
+            return rej
+        rej = self.batcher.enqueue(request, now=self.time)
+        self._drain_rejections()
+        return rej
+
+    def _drain_rejections(self) -> None:
+        for rej in self.batcher.drain_rejections():
+            self.rejected.append(rej)
+            self.stats[rej.cause] += 1
+            ServingEngine._count(f"serve.tp.{rej.cause}", 1)
+
+    # -- guarded execution -------------------------------------------------
+
+    def _guarded(self, fn):
+        """Run ``fn`` under the injector, absorbing recoverable faults.
+
+        Timeouts re-issue ``fn`` (forwards are idempotent until commit);
+        rank failures trigger shrink-and-replay recovery, then ``fn``
+        retries on the re-formed decoder.  Units that create sequences
+        must be restartable from scratch (see ``_fresh_sequence``).
+        """
+        last: Exception | None = None
+        for _ in range(self.max_recoveries + 1):
+            try:
+                with fault_scope(self.injector):
+                    return fn()
+            except CommTimeoutError as exc:
+                last = exc
+                self.stats["step_timeouts"] += 1
+                ServingEngine._count("serve.tp.step_timeouts", 1)
+            except RankFailure as exc:
+                last = exc
+                self._recover_from_kill(exc)
+        raise DecodeRankFailure(
+            getattr(last, "rank", -1),
+            self.step_count,
+            "decode (recovery budget exhausted)",
+        ) from last
+
+    def _fresh_sequence(self, seq_id: int, reserve_tokens: int) -> None:
+        """(Re)create ``seq_id`` with an empty cache — makes replay units
+        idempotent: a retry after a mid-replay fault starts clean instead
+        of appending to half-committed state."""
+        if self.decoder.has_sequence(seq_id):
+            self.decoder.free_sequence(seq_id)
+        self.decoder.add_sequence(seq_id, reserve_tokens)
+
+    def _reserve_tokens(self, r: _Running) -> int:
+        ctx_len = r.request.prompt_len + len(r.out) - 1
+        if self.config.reservation == "worst_case":
+            return r.request.total_tokens
+        return max(ctx_len, r.request.prompt_len) + 1
+
+    def _replay(self, r: _Running) -> None:
+        """Rebuild a sequence's KV bitwise by re-running its history:
+        prompt prefill, then one decode step per emitted token (whose
+        logits re-derive tokens we already hold and are discarded)."""
+        self._fresh_sequence(r.seq_id, self._reserve_tokens(r))
+        self.decoder.prefill(r.seq_id, r.request.prompt)
+        for t in r.out[:-1]:
+            self.decoder.decode_step(np.asarray([t], dtype=np.int64), [r.seq_id])
+        self.stats["recompute_tokens"] += (
+            r.request.prompt_len + max(len(r.out) - 1, 0)
+        )
+
+    # -- rank-failure recovery ---------------------------------------------
+
+    def _recover_from_kill(self, exc: RankFailure) -> None:
+        """Shrink the X group to the survivors and recompute in-flight KV.
+
+        The sweep/shrink/restart/rebuild sequence is the PR 3 elastic
+        recovery pattern applied to serving; replay runs *outside* the
+        fault scope (recovery happens on a quiesced, re-formed group).
+        """
+        assert self.injector is not None
+        old_gx = self.decoder.gx
+        dead = self.injector.collect_armed_kills(
+            total=self.grid.config.total, tracer=self.grid.tracer
+        )
+        survivors = old_gx - len(dead & set(self.decoder.x_ranks))
+        if survivors < 1:
+            raise DecodeRankFailure(
+                exc.rank, self.step_count, exc.op, exc.group
+            ) from exc
+        new_gx = next(
+            g
+            for g in range(survivors, 0, -1)
+            if grid_fits(self.model.cfg, GridConfig(g, 1, 1, 1))
+        )
+        self.stats["rank_failures"] += 1
+        ServingEngine._count("serve.tp.rank_failures", 1)
+        self.shrink_history.append((self.step_count, old_gx, new_gx))
+        self.injector.restart()
+        old = self.grid
+        placement = (
+            None
+            if old.placement is None
+            else Placement(old.placement.machine, new_gx, old.placement.strategy)
+        )
+        algo = old.config.collective_algo if placement is not None else "flat"
+        self.grid = Grid4D(
+            GridConfig(new_gx, 1, 1, 1, collective_algo=algo),
+            placement=placement,
+            tracer=old.tracer,
+        )
+        self.decoder = TensorParallelDecoder(
+            self.model,
+            self.grid,
+            block_size=self.config.block_size,
+            num_blocks=self.config.num_blocks,
+        )
+        for r in sorted(self.running, key=lambda r: r.seq_id):
+            self._replay(r)
+
+    # -- one scheduling round ----------------------------------------------
+
+    def step(self) -> list[FinishedRequest]:
+        """Resume preempted, admit, prefill, decode one token, evict."""
+        self.step_count += 1
+        if self.injector is not None:
+            self.injector.start_step(self.step_count)
+        self._resume_preempted()
+        if self.preempted:
+            self.batcher.shed_expired(self.time)
+        else:
+            for req in self.batcher.admit(
+                len(self.running), self.decoder.num_free_blocks, now=self.time
+            ):
+                self._admit(req)
+        self._drain_rejections()
+        live = self._grow_blocks([r for r in self.running if not r.done])
+        if live:
+            tokens = np.asarray([r.out[-1] for r in live], dtype=np.int64)
+            seq_ids = [r.seq_id for r in live]
+            logits = self._guarded(
+                lambda: self.decoder.decode_step(tokens, seq_ids)
+            )
+            nxt = np.argmax(logits, axis=1)
+            for r, t in zip(live, nxt):
+                r.out.append(int(t))
+                self._maybe_finish(r)
+            ServingEngine._count("serve.tp.decode_steps", 1)
+            ServingEngine._count("serve.tp.decode_tokens", len(live))
+        return self._evict()
+
+    def _admit(self, req: Request) -> None:
+        seq_id = self._next_seq_id
+        self._next_seq_id += 1
+        state = _Running(
+            request=req,
+            seq_id=seq_id,
+            admitted_step=self.step_count,
+            admitted_time=self.time,
+        )
+        reserve = self.config.reserve_tokens(req)
+
+        def unit():
+            self._fresh_sequence(seq_id, reserve)
+            return self.decoder.prefill(seq_id, req.prompt)
+
+        logits = self._guarded(unit)
+        state.out.append(int(np.argmax(logits)))
+        self.running.append(state)
+        self.running.sort(key=lambda c: c.seq_id)
+        ServingEngine._count("serve.tp.admitted", 1)
+        self._maybe_finish(state)
+
+    # -- KV-pressure preemption (same policy as the serial engine) ---------
+
+    def _grow_blocks(self, live: list[_Running]) -> list[_Running]:
+        victims: set[int] = set()
+        for r in sorted(live, key=lambda r: r.seq_id):
+            if r.seq_id in victims:
+                continue
+            while True:
+                try:
+                    self.decoder.reserve(r.seq_id, 1)
+                    break
+                except CacheOutOfBlocks:
+                    candidates = [
+                        c
+                        for c in self.running
+                        if not c.done and c.seq_id not in victims
+                    ]
+                    victim = max(candidates, key=lambda c: c.seq_id)
+                    victims.add(victim.seq_id)
+                    self._preempt(victim)
+                    if victim is r:
+                        break
+        return [r for r in live if r.seq_id not in victims]
+
+    def _preempt(self, r: _Running) -> None:
+        self.decoder.free_sequence(r.seq_id)
+        self.running.remove(r)
+        r.preemptions += 1
+        self.preempted.append(r)
+        self.stats["preemptions"] += 1
+        ServingEngine._count("serve.tp.preemptions", 1)
+
+    def _resume_preempted(self) -> None:
+        for r in sorted(self.preempted, key=lambda r: r.seq_id):
+            need = self.config.blocks_for(self._reserve_tokens(r))
+            if (
+                len(self.running) >= self.config.max_batch
+                or need > self.decoder.num_free_blocks
+            ):
+                break
+            self._guarded(lambda r=r: self._replay(r))
+            self.preempted.remove(r)
+            self.running.append(r)
+            self.running.sort(key=lambda c: c.seq_id)
+            ServingEngine._count("serve.tp.resumes", 1)
+
+    def _maybe_finish(self, r: _Running) -> None:
+        if len(r.out) >= r.request.max_new_tokens:
+            r.done = True
+        elif self.eos_id is not None and r.out[-1] == self.eos_id:
+            r.done = True
+
+    def _evict(self) -> list[FinishedRequest]:
+        out = []
+        for r in [r for r in self.running if r.done]:
+            self.decoder.free_sequence(r.seq_id)
+            self.running.remove(r)
+            fin = FinishedRequest(
+                request=r.request,
+                tokens=np.asarray(r.out, dtype=np.int64),
+                admitted_step=r.admitted_step,
+                first_token_step=r.admitted_step,
+                finish_step=self.step_count,
+                admitted_time=r.admitted_time,
+                first_token_time=r.admitted_time,
+                finish_time=self.time,
+                preemptions=r.preemptions,
+            )
+            self.finished.append(fin)
+            out.append(fin)
+            ServingEngine._count("serve.tp.finished", 1)
+        return out
+
+    # -- trace driver ------------------------------------------------------
+
+    def run(
+        self,
+        requests: list[Request],
+        *,
+        step_time: float = 1.0,
+        max_steps: int = 100_000,
+    ) -> list[FinishedRequest]:
+        """Serve a whole arrival trace to completion under the adversary.
+
+        Same virtual-clock semantics as
+        :meth:`~repro.serving.engine.ServingEngine.run`; completions are
+        returned, typed non-completions accumulate on ``self.rejected``.
+        """
+        pending = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        i = 0
+        start = len(self.finished)
+        while (
+            i < len(pending)
+            or self.batcher.num_waiting
+            or self.running
+            or self.preempted
+        ):
+            while i < len(pending) and pending[i].arrival_time <= self.time:
+                self.submit(pending[i])
+                i += 1
+            if (
+                not self.batcher.num_waiting
+                and not self.running
+                and not self.preempted
+            ):
+                if i >= len(pending):
+                    break
+                self.time = pending[i].arrival_time
+                continue
+            self.step()
+            self.time += step_time
+            if self.step_count > max_steps:
+                raise RuntimeError(
+                    f"serving did not drain within {max_steps} steps"
+                )
+        return self.finished[start:]
+
+    def report(self) -> ResilienceReport:
+        """Summarize survived faults and typed outcomes so far."""
+        by_cause: Counter = Counter()
+        for rej in self.rejected:
+            by_cause[rej.cause] += 1
+        return ResilienceReport(
+            num_finished=len(self.finished),
+            rejected_by_cause=dict(by_cause),
+            preemptions=int(self.stats["preemptions"]),
+            rank_failures=int(self.stats["rank_failures"]),
+            step_timeouts=int(self.stats["step_timeouts"]),
+            recompute_tokens=int(self.stats["recompute_tokens"]),
+            shrink_history=list(self.shrink_history),
+        )

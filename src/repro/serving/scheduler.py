@@ -11,13 +11,26 @@ Policy (deliberately simple and deterministic):
 
 * FIFO admission in arrival order;
 * a request is admitted only when a batch slot is free **and** the
-  block pool can cover its *worst-case* KV footprint
-  (``prompt + max_new_tokens`` tokens).  Conservative reservation means
-  an admitted sequence can never hit a mid-decode out-of-blocks
-  condition, so there is no preemption path to get wrong;
+  block pool can cover its reservation.  Two reservation modes:
+
+  - ``"optimistic"`` (default): reserve only ``prompt + 1`` tokens of
+    KV at admission.  Utilization rises — sequences whose budgets would
+    never overlap in time no longer exclude each other — at the cost of
+    a mid-decode out-of-blocks condition the engine must handle by
+    preempting the youngest sequence and recomputing it later;
+  - ``"worst_case"``: reserve ``prompt + max_new_tokens`` up front, so
+    an admitted sequence can never fail an allocation mid-decode (the
+    PR 7 behaviour, kept for A/B comparison);
+
 * head-of-line blocking is kept: if the oldest waiting request does not
   fit, nothing behind it is admitted (preserves arrival-order fairness
-  and makes admission order a pure function of the trace).
+  and makes admission order a pure function of the trace);
+* overload produces *typed outcomes*, never exceptions or unbounded
+  queues: a never-fitting request is ``"rejected"`` at enqueue, a
+  request arriving to a full bounded queue is ``"shed"``, and a request
+  whose deadline / TTFT budget expires while waiting is swept out as
+  ``"deadline"`` at the next admission pass.  The cause strings match
+  the :func:`repro.runtime.faults.fault_cause` taxonomy.
 """
 
 from __future__ import annotations
@@ -27,12 +40,36 @@ from dataclasses import dataclass
 
 from .arrivals import Request
 
-__all__ = ["BatchingConfig", "ContinuousBatcher"]
+__all__ = [
+    "BatchingConfig",
+    "ContinuousBatcher",
+    "RejectedRequest",
+    "REJECT_REJECTED",
+    "REJECT_SHED",
+    "REJECT_DEADLINE",
+]
+
+#: Typed rejection causes — aligned with ``repro.runtime.faults.fault_cause``.
+REJECT_REJECTED = "rejected"  # can never be served on this instance
+REJECT_SHED = "shed"  # bounded waiting queue was full on arrival
+REJECT_DEADLINE = "deadline"  # deadline / TTFT budget expired while waiting
+
+
+@dataclass(frozen=True)
+class RejectedRequest:
+    """A request that ended in a typed non-completion outcome."""
+
+    request: Request
+    #: One of :data:`REJECT_REJECTED`, :data:`REJECT_SHED`,
+    #: :data:`REJECT_DEADLINE` (``fault_cause``-compatible strings).
+    cause: str
+    #: Virtual time at which the outcome was decided.
+    time: float
 
 
 @dataclass(frozen=True)
 class BatchingConfig:
-    """Capacity limits of a serving instance."""
+    """Capacity limits and overload policy of a serving instance."""
 
     #: Max sequences decoded together per step.
     max_batch: int = 8
@@ -40,6 +77,20 @@ class BatchingConfig:
     block_size: int = 16
     #: Total KV blocks in the pool.
     num_blocks: int = 256
+    #: Bound on the waiting queue; ``None`` keeps it unbounded.  With a
+    #: bound, arrivals past capacity are shed (typed, deterministic)
+    #: instead of queueing without limit.
+    max_waiting: int | None = None
+    #: End-to-end deadline per request, measured from arrival; a request
+    #: still waiting past it is shed with cause ``"deadline"``.
+    deadline: float | None = None
+    #: Time-to-first-token budget per request, measured from arrival; a
+    #: request not yet *admitted* past it can no longer meet the budget
+    #: and is shed with cause ``"deadline"``.
+    ttft_deadline: float | None = None
+    #: ``"optimistic"`` (reserve ``prompt + 1``) or ``"worst_case"``
+    #: (reserve ``prompt + max_new_tokens``).
+    reservation: str = "optimistic"
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -48,46 +99,116 @@ class BatchingConfig:
             raise ValueError("block_size must be >= 1")
         if self.num_blocks < 1:
             raise ValueError("num_blocks must be >= 1")
+        if self.max_waiting is not None and self.max_waiting < 1:
+            raise ValueError("max_waiting must be >= 1 (or None)")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be > 0 (or None)")
+        if self.ttft_deadline is not None and self.ttft_deadline <= 0:
+            raise ValueError("ttft_deadline must be > 0 (or None)")
+        if self.reservation not in ("optimistic", "worst_case"):
+            raise ValueError("reservation must be 'optimistic' or 'worst_case'")
 
     def blocks_for(self, tokens: int) -> int:
         return -(-tokens // self.block_size)
 
     def fits(self, request: Request) -> bool:
-        """Whether the request can *ever* be admitted on this instance."""
+        """Whether the request can *ever* be admitted on this instance.
+
+        Always the worst-case footprint: even under optimistic
+        reservation, a lone request must be able to decode its full
+        budget, or preemption could never make progress on it.
+        """
         return self.blocks_for(request.total_tokens) <= self.num_blocks
+
+    def reserve_tokens(self, request: Request) -> int:
+        """KV tokens to reserve for ``request`` at admission."""
+        if self.reservation == "worst_case":
+            return request.total_tokens
+        return request.prompt_len + 1
+
+    def expiry(self, request: Request) -> float:
+        """Earliest time at which a still-waiting request is hopeless."""
+        bounds = []
+        if self.deadline is not None:
+            bounds.append(request.arrival_time + self.deadline)
+        if self.ttft_deadline is not None:
+            bounds.append(request.arrival_time + self.ttft_deadline)
+        return min(bounds) if bounds else float("inf")
 
 
 class ContinuousBatcher:
-    """FIFO waiting queue + per-step admission decisions."""
+    """FIFO waiting queue + per-step admission/shedding decisions.
+
+    Rejections accumulate on the batcher (``drain_rejections``) so both
+    executors surface identical typed outcomes for the same trace.
+    """
 
     def __init__(self, config: BatchingConfig) -> None:
         self.config = config
         self._waiting: deque[Request] = deque()
+        self._rejected: list[RejectedRequest] = []
 
     @property
     def num_waiting(self) -> int:
         return len(self._waiting)
 
-    def enqueue(self, request: Request) -> None:
-        if not self.config.fits(request):
-            raise ValueError(
-                f"request {request.request_id} needs "
-                f"{self.config.blocks_for(request.total_tokens)} blocks; "
-                f"the pool only has {self.config.num_blocks}"
-            )
-        self._waiting.append(request)
+    def enqueue(self, request: Request, now: float | None = None) -> RejectedRequest | None:
+        """Queue ``request``, or return its typed rejection.
 
-    def admit(self, running: int, free_blocks: int) -> list[Request]:
+        A request that can never fit the pool is ``"rejected"``; one
+        arriving to a full bounded queue is ``"shed"``.  ``now``
+        defaults to the request's arrival time.
+        """
+        t = request.arrival_time if now is None else now
+        if not self.config.fits(request):
+            return self._reject(request, REJECT_REJECTED, t)
+        if (
+            self.config.max_waiting is not None
+            and len(self._waiting) >= self.config.max_waiting
+        ):
+            return self._reject(request, REJECT_SHED, t)
+        self._waiting.append(request)
+        return None
+
+    def _reject(self, request: Request, cause: str, t: float) -> RejectedRequest:
+        rej = RejectedRequest(request=request, cause=cause, time=t)
+        self._rejected.append(rej)
+        return rej
+
+    def shed_expired(self, now: float) -> list[RejectedRequest]:
+        """Sweep waiting requests whose deadline/TTFT budget expired.
+
+        The whole queue is scanned (not just the head) so an expired
+        head can never starve live requests behind it — this is the
+        starvation bound of the deadline policy.
+        """
+        if self.config.deadline is None and self.config.ttft_deadline is None:
+            return []
+        shed: list[RejectedRequest] = []
+        kept: deque[Request] = deque()
+        for req in self._waiting:
+            if now >= self.config.expiry(req):
+                shed.append(self._reject(req, REJECT_DEADLINE, now))
+            else:
+                kept.append(req)
+        self._waiting = kept
+        return shed
+
+    def admit(self, running: int, free_blocks: int, now: float = 0.0) -> list[Request]:
         """Requests to admit this step, FIFO, within capacity.
 
         ``running`` is the current in-flight sequence count and
         ``free_blocks`` the pool's free block count; both are advanced
         locally as requests are taken so one call decides the full
-        admission set for the step.
+        admission set for the step.  Expired waiting requests are swept
+        into the rejection list first (see :meth:`shed_expired`).
         """
+        self.shed_expired(now)
         admitted: list[Request] = []
         while self._waiting and running < self.config.max_batch:
-            need = self.config.blocks_for(self._waiting[0].total_tokens)
+            need = self.config.blocks_for(
+                self.config.reserve_tokens(self._waiting[0])
+            )
             if need > free_blocks:
                 break  # head-of-line blocking: keep arrival order strict
             req = self._waiting.popleft()
@@ -95,3 +216,9 @@ class ContinuousBatcher:
             running += 1
             free_blocks -= need
         return admitted
+
+    def drain_rejections(self) -> list[RejectedRequest]:
+        """Return and clear the accumulated typed rejections."""
+        out = self._rejected
+        self._rejected = []
+        return out

@@ -27,6 +27,7 @@ from ..core.parallel_transformer import permute_qkv_columns
 from ..nn.generation import _attention_with_cache, _split_heads
 from ..nn.transformer import GPT
 from ..runtime import collectives as rc
+from ..runtime.faults import get_active_injector
 from ..tensor import Tensor, no_grad
 from ..tensor import functional as F
 from .paged_kv import PagedKVCache
@@ -129,16 +130,54 @@ class TensorParallelDecoder:
         for kv in self.kv:
             kv.free_sequence(seq_id)
 
+    def reserve(self, seq_id: int, num_new: int) -> None:
+        """Grow every shard's reservation by ``num_new`` tokens.
+
+        All-or-nothing across shards: every rank holds the same block
+        count for a sequence (identical tables, different head slices),
+        so the shards either all succeed or the first one raises
+        :class:`~repro.serving.paged_kv.CacheOutOfBlocks` before any
+        state diverges.
+        """
+        for kv in self.kv:
+            kv.reserve(seq_id, num_new)
+
     def seq_len(self, seq_id: int) -> int:
         return self.kv[0].seq_len(seq_id)
 
+    def has_sequence(self, seq_id: int) -> bool:
+        return self.kv[0].has_sequence(seq_id)
+
+    @property
+    def num_free_blocks(self) -> int:
+        """Free blocks per shard (all shards allocate in lockstep)."""
+        return self.kv[0].allocator.num_free
+
     # -- all-reduce helper -------------------------------------------------
+
+    def _await_completion(self, op: str, tag: str) -> None:
+        """Consult the ambient fault injector's wait hook, if installed.
+
+        A blocking collective's completion is where transient network
+        faults surface to the caller — a dropped or delayed message
+        shows up as the wait running long.  ``delay_wait`` faults within
+        the :class:`~repro.runtime.faults.RetryPolicy` budget are
+        absorbed (virtual retry time only); beyond-budget delays raise
+        :class:`~repro.runtime.faults.CommTimeoutError`, which the
+        resilient engine answers by re-issuing the forward (KV writes
+        are uncommitted until the end of the forward, so the retry is
+        idempotent).
+        """
+        inj = get_active_injector()
+        if inj is not None:
+            inj.before_wait(op, self.x_group, tag)
 
     def _all_reduce(self, partials: list[np.ndarray], tag: str) -> np.ndarray:
         buffers = {r: p for r, p in zip(self.x_group.ranks, partials)}
         out = rc.all_reduce(
             buffers, self.x_group, tracer=self.grid.tracer, tag=tag
         )
+        self._await_completion("all_reduce", tag)
         return out[self.x_group.ranks[0]]
 
     # -- forward -----------------------------------------------------------
@@ -220,6 +259,7 @@ class TensorParallelDecoder:
                 shards, self.x_group, tracer=self.grid.tracer,
                 tag="serve.head_AG_x",
             )
+            self._await_completion("all_gather", "serve.head_AG_x")
             logits = gathered[self.x_group.ranks[0]].swapaxes(0, 2)
         for kv in self.kv:
             for s in seq_ids:

@@ -41,6 +41,7 @@ from .variability import (
 from .serving import (
     ServingModel,
     ServingResult,
+    chaos_sweep,
     simulate_serving,
     sweep_offered_load,
 )
@@ -103,4 +104,5 @@ __all__ = [
     "ServingResult",
     "simulate_serving",
     "sweep_offered_load",
+    "chaos_sweep",
 ]

@@ -3,8 +3,9 @@
 The real :class:`repro.serving.engine.ServingEngine` moves float64s; this
 module moves virtual time through the *same* admission policy
 (:class:`repro.serving.scheduler.ContinuousBatcher`, shared class, same
-head-of-line FIFO semantics), charging each scheduling round its analytic
-cost on a target machine:
+head-of-line FIFO semantics, same typed rejections, same preempt-
+youngest / resume-oldest KV-pressure policy), charging each scheduling
+round its analytic cost on a target machine:
 
 * **prefill** is compute-bound: ``2 * params * prompt_len`` flops at the
   machine's empirical GEMM rate, divided over the tensor-parallel degree;
@@ -16,17 +17,30 @@ cost on a target machine:
   two all-reduces per layer per step through
   :func:`repro.perfmodel.choose_algorithm`, so the flat/hierarchical
   routing decision shows up in the serving frontier exactly as it does
-  in training step times.
+  in training step times;
+* **preemption restarts** are priced as one recompute prefill over the
+  preempted context (the real engine replays step by step for bitwise
+  exactness; analytically the replay is a chunked forward);
+* **instance failures** arrive as a seeded exponential process at the
+  MTBF-driven rate of :class:`repro.simulate.failures.FailureModel`:
+  every running sequence is preempted (KV lost, recomputed on resume)
+  and the instance pays ``restart_time`` — serving's version of the
+  training goodput tax.
 
 Sweeping offered load over a seeded arrival trace yields the
 throughput/latency frontier (p50/p99 via the telemetry histogram's
-bucket-interpolated quantiles) and SLO attainment — the serving analog
-of the training scaling curves.
+bucket-interpolated quantiles) and SLO attainment; sweeping failure
+rate x offered load (:func:`chaos_sweep`) yields the SLO-degradation
+surface under faults — the serving analog of the training scaling and
+goodput curves.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
+
+import numpy as np
 
 from ..cluster.machine import MachineSpec
 from ..cluster.topology import Placement
@@ -36,12 +50,14 @@ from ..serving.arrivals import Request, poisson_trace
 from ..serving.scheduler import BatchingConfig, ContinuousBatcher
 from ..telemetry.metrics import Histogram
 from ..telemetry.spans import get_tracer
+from .failures import FailureModel
 
 __all__ = [
     "ServingModel",
     "ServingResult",
     "simulate_serving",
     "sweep_offered_load",
+    "chaos_sweep",
 ]
 
 
@@ -153,6 +169,22 @@ class ServingResult:
     slo_multiplier: float
     mean_batch: float
     decode_steps: int
+    #: Typed non-completions (never-fitting / over-capacity requests).
+    rejected: int = 0
+    #: Typed non-completions (bounded waiting queue full on arrival).
+    shed: int = 0
+    #: Typed non-completions (deadline / TTFT budget expired waiting).
+    deadline_exceeded: int = 0
+    #: KV-pressure + failure preemption events (recompute-restarted).
+    preemptions: int = 0
+    #: MTBF-driven instance failures absorbed during the trace.
+    instance_failures: int = 0
+    #: Tokens recomputed by preemption/failure restarts.
+    recompute_tokens: int = 0
+
+    @property
+    def num_rejections(self) -> int:
+        return self.rejected + self.shed + self.deadline_exceeded
 
     def to_dict(self) -> dict[str, float | int]:
         return {
@@ -170,14 +202,23 @@ class ServingResult:
             "slo_multiplier": self.slo_multiplier,
             "mean_batch": self.mean_batch,
             "decode_steps": self.decode_steps,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "deadline_exceeded": self.deadline_exceeded,
+            "preemptions": self.preemptions,
+            "instance_failures": self.instance_failures,
+            "recompute_tokens": self.recompute_tokens,
         }
 
 
 @dataclass
 class _SimSeq:
     request: Request
+    #: Monotone admission index — preemption order (youngest = max).
+    admit_idx: int
     produced: int = 0
     first_token_time: float = 0.0
+    blocks: int = 0
 
 
 def simulate_serving(
@@ -187,14 +228,23 @@ def simulate_serving(
     *,
     slo_multiplier: float = 3.0,
     max_steps: int = 1_000_000,
+    failure_model: FailureModel | None = None,
+    num_instance_nodes: int = 1,
+    chaos_seed: int = 0,
 ) -> ServingResult:
     """Run an arrival trace through the virtual-time serving loop.
 
     The loop is the engine's :meth:`~repro.serving.engine.ServingEngine.run`
-    with analytic round costs: each round admits (prefilling the
-    newcomers), decodes one token for every running sequence, and
-    advances the clock by the round's modeled duration.  Determinism:
-    identical trace + config => identical result, bit for bit.
+    with analytic round costs: each round resumes preempted sequences
+    (priced as a recompute prefill over the preempted context), admits
+    (prefilling the newcomers), decodes one token for every running
+    sequence, and advances the clock by the round's modeled duration.
+    With ``failure_model`` set, instance failures arrive as a seeded
+    exponential process at ``failure_model.failure_rate(num_instance_nodes)``:
+    each failure preempts every running sequence and charges
+    ``restart_time``.  Requests that cannot complete end as typed
+    rejections counted on the result, never exceptions.  Determinism:
+    identical trace + config + seeds => identical result, bit for bit.
     """
     if not requests:
         raise ValueError("cannot simulate an empty trace")
@@ -203,18 +253,55 @@ def simulate_serving(
     pending = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
     offered = _offered_load(pending)
 
+    rng = np.random.default_rng(chaos_seed)
+    rate = (
+        failure_model.failure_rate(num_instance_nodes) if failure_model else 0.0
+    )
+
+    def draw_failure() -> float:
+        return float(rng.exponential(1.0 / rate)) if rate > 0 else math.inf
+
     running: list[_SimSeq] = []
+    preempted: list[_SimSeq] = []
     finished: list[tuple[Request, float, float]] = []  # (req, ttft, e2e)
+    causes = {"rejected": 0, "shed": 0, "deadline": 0}
     free_blocks = config.num_blocks
     time = pending[0].arrival_time
+    next_failure = time + draw_failure()
     i = 0
     steps = 0
     batch_acc = 0
-    while i < len(pending) or batcher.num_waiting or running:
+    admit_idx = 0
+    preempt_events = 0
+    instance_failures = 0
+    recompute_tokens = 0
+
+    def count_rejections() -> None:
+        for rej in batcher.drain_rejections():
+            causes[rej.cause] += 1
+
+    def reserve_blocks(seq: _SimSeq) -> int:
+        if config.reservation == "worst_case":
+            return config.blocks_for(seq.request.total_tokens)
+        ctx = seq.request.prompt_len + max(seq.produced - 1, 0)
+        return config.blocks_for(ctx + 1)
+
+    def preempt(seq: _SimSeq) -> None:
+        nonlocal free_blocks, preempt_events
+        free_blocks += seq.blocks
+        seq.blocks = 0
+        running.remove(seq)
+        preempted.append(seq)
+        preempt_events += 1
+
+    while i < len(pending) or batcher.num_waiting or running or preempted:
         while i < len(pending) and pending[i].arrival_time <= time:
-            batcher.enqueue(pending[i])
+            batcher.enqueue(pending[i], now=time)
             i += 1
-        if not batcher.num_waiting and not running:
+        count_rejections()
+        if not batcher.num_waiting and not running and not preempted:
+            if i >= len(pending):
+                break  # everything left ended in a typed rejection
             time = pending[i].arrival_time
             continue
         steps += 1
@@ -223,14 +310,69 @@ def simulate_serving(
                 f"serving simulation did not drain within {max_steps} steps"
             )
         round_time = 0.0
-        for req in batcher.admit(len(running), free_blocks):
-            free_blocks -= config.blocks_for(req.total_tokens)
-            round_time += model.prefill_time(req.prompt_len)
-            running.append(_SimSeq(req, produced=0))
+        # MTBF-driven instance failure: all running KV is lost; every
+        # sequence recomputes on resume and the instance pays the restart.
+        if failure_model is not None and time >= next_failure:
+            for s in list(running):
+                preempt(s)
+            round_time += failure_model.restart_time
+            instance_failures += 1
+            next_failure = time + draw_failure()
+        # Resume preempted sequences oldest-first (priority over new
+        # admissions); the replay is priced as one recompute prefill.
+        for s in sorted(preempted, key=lambda s: s.admit_idx):
+            need = reserve_blocks(s)
+            if len(running) >= config.max_batch or need > free_blocks:
+                break
+            free_blocks -= need
+            s.blocks = need
+            ctx = s.request.prompt_len + max(s.produced - 1, 0)
+            round_time += model.prefill_time(ctx)
+            recompute_tokens += ctx
+            preempted.remove(s)
+            running.append(s)
+        if preempted:
+            batcher.shed_expired(time)
+        else:
+            for req in batcher.admit(len(running), free_blocks, now=time):
+                seq = _SimSeq(req, admit_idx)
+                admit_idx += 1
+                seq.blocks = reserve_blocks(seq)
+                free_blocks -= seq.blocks
+                round_time += model.prefill_time(req.prompt_len)
+                running.append(seq)
+        count_rejections()
+        # Grow reservations one token, preempting the youngest when the
+        # pool runs dry (same policy as ServingEngine._grow_blocks).
+        victims: list[_SimSeq] = []
+        for s in sorted(running, key=lambda s: s.admit_idx):
+            if s in victims:
+                continue
+            while True:
+                ctx = s.request.prompt_len + s.produced
+                need = config.blocks_for(ctx + 1) - s.blocks
+                if need <= 0 or need <= free_blocks:
+                    free_blocks -= max(need, 0)
+                    s.blocks += max(need, 0)
+                    break
+                victim = max(
+                    (c for c in running if c not in victims),
+                    key=lambda c: c.admit_idx,
+                )
+                victims.append(victim)
+                free_blocks += victim.blocks
+                victim.blocks = 0
+                if victim is s:
+                    break
+        for v in victims:
+            running.remove(v)
+            preempted.append(v)
+            preempt_events += 1
         live = running
-        context = sum(s.request.prompt_len + s.produced for s in live)
-        round_time += model.decode_step_time(len(live), context)
-        batch_acc += len(live)
+        if live:
+            context = sum(s.request.prompt_len + s.produced for s in live)
+            round_time += model.decode_step_time(len(live), context)
+            batch_acc += len(live)
         time += round_time
         still = []
         for s in live:
@@ -238,7 +380,8 @@ def simulate_serving(
             if s.produced == 1:
                 s.first_token_time = time
             if s.produced >= s.request.max_new_tokens:
-                free_blocks += config.blocks_for(s.request.total_tokens)
+                free_blocks += s.blocks
+                s.blocks = 0
                 finished.append((
                     s.request,
                     s.first_token_time - s.request.arrival_time,
@@ -258,30 +401,48 @@ def simulate_serving(
         tokens += req.max_new_tokens
         if e2e <= slo_multiplier * model.unloaded_latency(req):
             met += 1
-    makespan = max(e2e + req.arrival_time for req, _, e2e in finished) - (
-        pending[0].arrival_time
-    )
+    if finished:
+        makespan = max(e2e + req.arrival_time for req, _, e2e in finished) - (
+            pending[0].arrival_time
+        )
+    else:
+        # Nothing completed (everything rejected/shed/expired): a
+        # zero-request result, not a crash.
+        makespan = 0.0
     result = ServingResult(
         offered_load=offered,
         num_requests=len(finished),
         generated_tokens=tokens,
         makespan=makespan,
         tokens_per_s=tokens / makespan if makespan > 0 else 0.0,
-        p50_ttft=ttft_h.quantile(0.5),
-        p99_ttft=ttft_h.quantile(0.99),
-        p50_e2e=e2e_h.quantile(0.5),
-        p99_e2e=e2e_h.quantile(0.99),
-        mean_e2e=e2e_h.mean,
-        slo_attainment=met / len(finished),
+        p50_ttft=ttft_h.quantile(0.5) if finished else 0.0,
+        p99_ttft=ttft_h.quantile(0.99) if finished else 0.0,
+        p50_e2e=e2e_h.quantile(0.5) if finished else 0.0,
+        p99_e2e=e2e_h.quantile(0.99) if finished else 0.0,
+        mean_e2e=e2e_h.mean if finished else 0.0,
+        slo_attainment=met / len(finished) if finished else 0.0,
         slo_multiplier=slo_multiplier,
-        mean_batch=batch_acc / steps,
+        mean_batch=batch_acc / steps if steps else 0.0,
         decode_steps=steps,
+        rejected=causes["rejected"],
+        shed=causes["shed"],
+        deadline_exceeded=causes["deadline"],
+        preemptions=preempt_events,
+        instance_failures=instance_failures,
+        recompute_tokens=recompute_tokens,
     )
     tracer = get_tracer()
     if tracer is not None:
         tracer.metrics.counter("sim.serve.requests").add(len(finished))
         tracer.metrics.counter("sim.serve.tokens").add(tokens)
         tracer.metrics.counter("sim.serve.decode_steps").add(steps)
+        tracer.metrics.counter("sim.serve.rejections").add(
+            result.num_rejections
+        )
+        tracer.metrics.counter("sim.serve.preemptions").add(preempt_events)
+        tracer.metrics.counter("sim.serve.instance_failures").add(
+            instance_failures
+        )
         for _, ttft, e2e in finished:
             tracer.metrics.histogram("sim.serve.ttft_s").record(ttft)
             tracer.metrics.histogram("sim.serve.e2e_s").record(e2e)
@@ -305,12 +466,16 @@ def sweep_offered_load(
     prompt_lens: tuple[int, int] = (16, 256),
     max_new_tokens: tuple[int, int] = (16, 128),
     trace=poisson_trace,
+    failure_model: FailureModel | None = None,
+    num_instance_nodes: int = 1,
+    chaos_seed: int = 0,
 ) -> list[ServingResult]:
     """Throughput/latency frontier: one seeded trace per offered rate.
 
     The same ``seed`` is used at every rate so the *request mix* is held
     fixed and only the arrival spacing changes — the sweep isolates load,
-    not workload.
+    not workload.  ``failure_model`` runs the whole frontier under
+    MTBF-driven instance failures (same ``chaos_seed`` per rate).
     """
     results = []
     for rate in rates:
@@ -324,7 +489,64 @@ def sweep_offered_load(
         )
         results.append(
             simulate_serving(
-                reqs, model, config, slo_multiplier=slo_multiplier
+                reqs,
+                model,
+                config,
+                slo_multiplier=slo_multiplier,
+                failure_model=failure_model,
+                num_instance_nodes=num_instance_nodes,
+                chaos_seed=chaos_seed,
             )
         )
     return results
+
+
+def chaos_sweep(
+    rates: list[float],
+    node_mtbfs: list[float | None],
+    num_requests: int,
+    model: ServingModel,
+    config: BatchingConfig | None = None,
+    *,
+    seed: int = 0,
+    chaos_seed: int = 0,
+    slo_multiplier: float = 3.0,
+    restart_time: float = 30.0,
+    num_instance_nodes: int = 1,
+    prompt_lens: tuple[int, int] = (16, 256),
+    max_new_tokens: tuple[int, int] = (16, 128),
+    trace=poisson_trace,
+) -> list[list[ServingResult]]:
+    """SLO-attainment degradation surface: fault rate x offered load.
+
+    Row ``i`` serves the same fixed request mix at every rate under
+    instance failures with per-node MTBF ``node_mtbfs[i]`` seconds
+    (``None`` or ``inf`` = fault-free baseline row).  Shorter MTBF means
+    more mid-trace failures, more recompute, lower SLO attainment — the
+    surface quantifies graceful degradation: attainment should fall
+    smoothly with failure rate, never cliff into a crash.
+    """
+    surface: list[list[ServingResult]] = []
+    for mtbf in node_mtbfs:
+        fm = (
+            None
+            if mtbf is None or math.isinf(mtbf)
+            else FailureModel(node_mtbf=mtbf, restart_time=restart_time)
+        )
+        surface.append(
+            sweep_offered_load(
+                rates,
+                num_requests,
+                model,
+                config,
+                seed=seed,
+                slo_multiplier=slo_multiplier,
+                prompt_lens=prompt_lens,
+                max_new_tokens=max_new_tokens,
+                trace=trace,
+                failure_model=fm,
+                num_instance_nodes=num_instance_nodes,
+                chaos_seed=chaos_seed,
+            )
+        )
+    return surface

@@ -353,3 +353,46 @@ class TestValidatorDetectsInjectedFaults:
     def test_corrupt_schedule_leaves_clean_plan_untouched(self):
         events = self.record_clean()
         assert corrupt_schedule(events, FaultPlan()) == events
+
+
+class TestServingFaultTaxonomy:
+    """The serving-side fault classes added for the chaos-hardened
+    engines slot into the same ``fault_cause`` accounting buckets the
+    training recovery loop uses."""
+
+    def test_fault_cause_buckets(self):
+        from repro.runtime import (
+            DeadlineExceededError,
+            DecodeRankFailure,
+            PreemptedError,
+            RequestRejectedError,
+            RequestShedError,
+            fault_cause,
+        )
+
+        assert fault_cause(RequestRejectedError(1, "too big")) == "rejected"
+        assert fault_cause(RequestShedError(2, 5)) == "shed"
+        assert fault_cause(DeadlineExceededError(3, 1.0, 2.0)) == "deadline"
+        assert fault_cause(PreemptedError(4, 7)) == "preempted"
+        # A decode-time kill is its own bucket, checked before the
+        # training-time RankFailure it subclasses.
+        assert fault_cause(DecodeRankFailure(0, 3, "decode")) == "decode_kill"
+        assert fault_cause(RankFailure(0, 3, "all_reduce")) == "kill"
+
+    def test_decode_failure_is_a_rank_failure(self):
+        from repro.runtime import DecodeRankFailure
+
+        exc = DecodeRankFailure(1, 9, "decode")
+        assert isinstance(exc, RankFailure)
+        assert exc.rank == 1 and exc.step == 9
+
+    def test_messages_identify_the_request(self):
+        from repro.runtime import (
+            DeadlineExceededError,
+            RequestRejectedError,
+            RequestShedError,
+        )
+
+        assert "request 7" in str(RequestRejectedError(7, "x"))
+        assert "queue full" in str(RequestShedError(1, 4))
+        assert "deadline" in str(DeadlineExceededError(2, 1.0, 3.0))

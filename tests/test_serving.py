@@ -190,7 +190,8 @@ class TestContinuousBatcher:
         assert b.num_waiting == 2
 
     def test_head_of_line_blocking(self):
-        cfgb = BatchingConfig(max_batch=4, block_size=4, num_blocks=16)
+        cfgb = BatchingConfig(max_batch=4, block_size=4, num_blocks=16,
+                              reservation="worst_case")
         b = ContinuousBatcher(cfgb)
         b.enqueue(self._req(0, prompt_len=40, new=20))  # 15 blocks
         b.enqueue(self._req(1, prompt_len=4, new=4))    # 2 blocks
@@ -199,11 +200,45 @@ class TestContinuousBatcher:
         got = b.admit(0, 16)
         assert [r.request_id for r in got] == [0]
 
+    def test_optimistic_reservation_admits_more(self):
+        """Optimistic admission reserves only prompt+1, so the same free
+        pool admits the head *and* the request behind it."""
+        cfgb = BatchingConfig(max_batch=4, block_size=4, num_blocks=16)
+        b = ContinuousBatcher(cfgb)
+        b.enqueue(self._req(0, prompt_len=40, new=20))  # 11 blocks optimistic
+        b.enqueue(self._req(1, prompt_len=4, new=4))    # 2 blocks
+        got = b.admit(0, 16)
+        assert [r.request_id for r in got] == [0, 1]
+
     def test_never_fitting_request_rejected_at_enqueue(self):
         b = ContinuousBatcher(BatchingConfig(max_batch=4, block_size=4,
                                              num_blocks=4))
-        with pytest.raises(ValueError):
-            b.enqueue(self._req(0, prompt_len=30, new=30))
+        rej = b.enqueue(self._req(0, prompt_len=30, new=30))
+        assert rej is not None and rej.cause == "rejected"
+        assert b.num_waiting == 0
+        assert [r.cause for r in b.drain_rejections()] == ["rejected"]
+        assert b.drain_rejections() == []  # drained
+
+    def test_bounded_queue_sheds_overflow(self):
+        b = ContinuousBatcher(BatchingConfig(max_batch=2, block_size=4,
+                                             num_blocks=64, max_waiting=2))
+        outcomes = [b.enqueue(self._req(i)) for i in range(4)]
+        assert outcomes[0] is None and outcomes[1] is None
+        assert [o.cause for o in outcomes[2:]] == ["shed", "shed"]
+        assert b.num_waiting == 2
+
+    def test_deadline_sweeps_whole_queue(self):
+        """An expired head is shed without starving live requests behind
+        it (the starvation bound of the deadline policy)."""
+        b = ContinuousBatcher(BatchingConfig(max_batch=1, block_size=4,
+                                             num_blocks=64, ttft_deadline=5.0))
+        b.enqueue(self._req(0, t=0.0))
+        b.enqueue(self._req(1, t=4.0))
+        got = b.admit(1, 64, now=6.0)  # batch full: nothing admits...
+        assert got == []
+        assert [r.request.request_id for r in b.drain_rejections()] == [0]
+        got = b.admit(0, 64, now=6.5)  # ...but request 1 is not starved
+        assert [r.request_id for r in got] == [1]
 
 
 class TestBatchedDecodeBitwise:
@@ -313,10 +348,19 @@ class TestEngineEquivalence:
         np.testing.assert_array_equal(fins[0].tokens, ref[: stop + 1])
 
     def test_oversized_request_rejected(self):
+        """Over-context requests end as typed rejections, not exceptions
+        (one poison request must not kill the serving loop)."""
         model = model_for(seq=16)
         engine = ServingEngine(model)
-        with pytest.raises(ValueError):
-            engine.submit(Request(0, np.ones(10, dtype=np.int64), 10, 0.0))
+        rej = engine.submit(Request(0, np.ones(10, dtype=np.int64), 10, 0.0))
+        assert rej is not None and rej.cause == "rejected"
+        fins = engine.run([
+            Request(1, np.ones(20, dtype=np.int64), 10, 0.0),  # poison
+            Request(2, np.asarray([1, 2, 3]), 4, 0.0),
+        ])
+        assert [f.request.request_id for f in fins] == [2]
+        assert [r.request.request_id for r in engine.rejected] == [0, 1]
+        assert all(r.cause == "rejected" for r in engine.rejected)
 
     def test_latency_metadata_and_telemetry(self):
         model = model_for(seed=1)

@@ -11,6 +11,7 @@ from repro.config import get_model
 from repro.serving import BatchingConfig, Request, poisson_trace
 from repro.simulate.serving import (
     ServingModel,
+    chaos_sweep,
     simulate_serving,
     sweep_offered_load,
 )
@@ -138,6 +139,104 @@ class TestSimulateServing:
         assert res.p99_e2e > res.p50_ttft
 
 
+class TestOverloadSim:
+    """Typed non-completions in the simulator: the satellite regression
+    (nothing finishing must not crash) plus the shed/deadline paths."""
+
+    def test_nothing_finishes_returns_zero_result(self):
+        """Regression: a trace where every request is rejected used to
+        die with ZeroDivisionError (slo_attainment) / ValueError
+        (makespan max() over an empty finished list)."""
+        m = small_model()
+        reqs = [
+            Request(i, np.ones(400, dtype=np.int64), 100, float(i))
+            for i in range(3)
+        ]
+        res = simulate_serving(
+            reqs, m, BatchingConfig(max_batch=4, block_size=16, num_blocks=8)
+        )
+        assert res.num_requests == 0
+        assert res.rejected == 3
+        assert res.generated_tokens == 0
+        assert res.makespan == 0.0
+        assert res.tokens_per_s == 0.0
+        assert res.slo_attainment == 0.0
+        assert res.p50_ttft == res.p99_e2e == 0.0
+
+    def test_bounded_queue_sheds(self):
+        m = small_model()
+        reqs = [Request(i, np.ones(8, dtype=np.int64), 4, 0.0)
+                for i in range(4)]
+        res = simulate_serving(
+            reqs, m,
+            BatchingConfig(max_batch=1, block_size=16, num_blocks=64,
+                           max_waiting=1),
+        )
+        assert res.num_requests == 1
+        assert res.shed == 3
+
+    def test_ttft_deadline_expires_queued_request(self):
+        m = small_model()
+        big = Request(0, np.ones(64, dtype=np.int64), 200, 0.0)
+        late = Request(1, np.ones(8, dtype=np.int64), 4, 0.0)
+        res = simulate_serving(
+            [big, late], m,
+            BatchingConfig(max_batch=1, block_size=16, num_blocks=64,
+                           ttft_deadline=1e-6),
+        )
+        assert res.num_requests == 1
+        assert res.deadline_exceeded == 1
+
+
+class TestChaosSim:
+    """MTBF-driven instance failures: graceful degradation, priced
+    recompute, and determinism."""
+
+    def _surface(self, mtbfs):
+        m = small_model()
+        cfgb = BatchingConfig(max_batch=8, num_blocks=2048)
+        return chaos_sweep(
+            [2.0], mtbfs, 24, m, cfgb,
+            prompt_lens=(16, 64), max_new_tokens=(8, 32),
+            restart_time=30.0,
+        )
+
+    def test_slo_degrades_monotonically_with_fault_rate(self):
+        rows = self._surface([None, 10.0, 3.0])
+        slo = [row[0].slo_attainment for row in rows]
+        assert slo[0] == 1.0
+        assert slo[0] >= slo[1] >= slo[2]
+        assert slo[2] < 1.0
+
+    def test_failures_preempt_and_charge_recompute(self):
+        (row,) = self._surface([3.0])
+        res = row[0]
+        # Every request still completes — failures cost time, not
+        # requests — and the lost KV is recomputed, not conjured.
+        assert res.num_requests == 24
+        assert res.instance_failures > 0
+        assert res.preemptions >= res.instance_failures
+        assert res.recompute_tokens > 0
+
+    def test_fault_free_row_matches_plain_sweep(self):
+        m = small_model()
+        cfgb = BatchingConfig(max_batch=8, num_blocks=2048)
+        (row,) = chaos_sweep(
+            [2.0], [None], 24, m, cfgb,
+            prompt_lens=(16, 64), max_new_tokens=(8, 32),
+        )
+        plain = sweep_offered_load(
+            [2.0], 24, m, cfgb,
+            prompt_lens=(16, 64), max_new_tokens=(8, 32),
+        )
+        assert row[0] == plain[0]
+
+    def test_chaos_deterministic(self):
+        a = self._surface([3.0])
+        b = self._surface([3.0])
+        assert a[0][0] == b[0][0]
+
+
 class TestServeReportCLI:
     def test_end_to_end(self, tmp_path, capsys):
         from repro.tools.serve_report import main
@@ -158,6 +257,32 @@ class TestServeReportCLI:
         assert metrics["tokens_per_s_max"] > 0
         assert metrics["engine_smoke"]["token_mismatches_vs_greedy"] == 0
         assert metrics["engine_smoke"]["paged_copied_bytes"] > 0
+
+    def test_chaos_end_to_end(self, tmp_path, capsys):
+        from repro.tools.serve_report import main
+
+        rc = main([
+            "GPT-5B", "4", "frontier",
+            "--rates", "0.5,4",
+            "--num-requests", "12",
+            "--chaos", "--mtbfs", "inf,5",
+            "--out", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Serving chaos surface" in out
+        assert "0 mismatches" in out
+        doc = json.loads((tmp_path / "BENCH_serving_chaos.json").read_text())
+        metrics = doc["metrics"]
+        assert len(metrics["surface"]) == 2
+        assert metrics["surface"][0]["node_mtbf_s"] is None
+        assert len(metrics["surface"][0]["results"]) == 2
+        smoke = metrics["chaos_smoke"]
+        assert smoke["token_mismatches_vs_greedy"] == 0
+        assert smoke["finished"] == smoke["requests"]
+        assert smoke["rank_failures"] >= 1
+        assert smoke["step_timeouts"] >= 1
+        assert smoke["preemptions"] >= 1
 
     def test_dispatcher_knows_serve_report(self):
         from repro.tools import SUBCOMMANDS
