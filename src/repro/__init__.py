@@ -12,6 +12,11 @@ The package rebuilds the paper's system, AxoNN, in pure Python:
   and analytical FLOP accounting;
 * :mod:`repro.simulate` — the discrete-event performance simulator that
   stands in for Perlmutter, Frontier, and Alps;
+* :mod:`repro.autotune` — the end-to-end job autotuner: analytic
+  pruning of the 4D grid space (Eqs. 1-7) followed by simulation-backed
+  validation of the (overlap x kernel tuning x collective algorithm)
+  knob space, behind one :class:`~repro.autotune.PlanRequest` /
+  :class:`~repro.autotune.SearchSpace` API;
 * :mod:`repro.memorization` — the catastrophic-memorization study and
   the Goldfish loss;
 * :mod:`repro.serving` — the continuous-batching serving runtime with a
@@ -34,6 +39,14 @@ below is a supported entry point.  Quick start::
 
 import warnings as _warnings
 
+from .autotune import (
+    AutotuneReport,
+    NoFeasibleConfigError,
+    PlanRequest,
+    SearchSpace,
+    TunedJobConfig,
+    autotune,
+)
 from .config import (
     DEFAULT_SEQ_LEN,
     DEFAULT_VOCAB_SIZE,
@@ -106,6 +119,13 @@ __all__ = [
     "AlgorithmChoice",
     "choose_algorithm",
     "collective_policy_scope",
+    # unified planning / autotuning API
+    "autotune",
+    "PlanRequest",
+    "SearchSpace",
+    "TunedJobConfig",
+    "AutotuneReport",
+    "NoFeasibleConfigError",
     # training loops and their reports
     "MixedPrecisionTrainer",
     "TrainingReport",

@@ -1,0 +1,37 @@
+"""End-to-end configuration autotuning behind one unified planning API.
+
+``repro.autotune`` composes the analytic performance model (Eqs. 1-7),
+the flat/hierarchical collective selector, the GEMM kernel-mode tuner,
+and the overlap-aware vectorized simulator into one "give me the fastest
+config" call::
+
+    from repro import PlanRequest, autotune
+    report = autotune(PlanRequest("GPT-20B", 1024, "frontier"))
+    print(report.winner)            # TunedJobConfig: grid + knobs + times
+
+The same search is the front door for the §V-B procedure
+(:func:`repro.simulate.best_configuration` runs it over a pinned
+:class:`SearchSpace`) and for the ``plan --optimize`` CLI.
+"""
+
+from .api import (
+    ALL_OVERLAP_COMBOS,
+    AutotuneReport,
+    CandidateReport,
+    NoFeasibleConfigError,
+    PlanRequest,
+    SearchSpace,
+    TunedJobConfig,
+)
+from .search import autotune
+
+__all__ = [
+    "autotune",
+    "PlanRequest",
+    "SearchSpace",
+    "TunedJobConfig",
+    "CandidateReport",
+    "AutotuneReport",
+    "NoFeasibleConfigError",
+    "ALL_OVERLAP_COMBOS",
+]

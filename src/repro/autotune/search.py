@@ -1,0 +1,197 @@
+"""The end-to-end configuration autotuner (ROADMAP item 3).
+
+Composes the subsystems that until now were driven by hand, the way the
+paper's §VI methodology hand-tunes each headline run:
+
+1. **Enumerate** every 4-factorization of the GPU count
+   (:func:`repro.core.grid.enumerate_grid_configs`) and reject infeasible
+   grids with the divisibility + memory model, keeping the reason each
+   candidate died (:func:`repro.perfmodel.infeasibility_reason`).
+2. **Prune** the survivors with the analytic communication model
+   (Eqs. 1-7 via :func:`repro.perfmodel.rank_configurations`) to the
+   space's ``prune_k`` best-predicted grids.
+3. **Screen** each pruned survivor with one ``timing_only`` vectorized
+   simulation under the space's reference knobs, keeping ``validate_k``.
+4. **Sweep** the full (overlap subset x GEMM kernel-mode tuning x
+   flat/hierarchical/auto collective routing) knob cross-product over the
+   screened grids, again with ``timing_only`` simulation, and emit the
+   winning :class:`~repro.autotune.api.TunedJobConfig` plus the ranked
+   :class:`~repro.autotune.api.AutotuneReport`.
+
+Determinism: the whole pipeline is a pure function of the request and
+space — enumeration order, stable sorts, and strict-``<`` winner updates
+fix every tie-break, and the simulator's jitter is the seeded sha256
+hash shared by both timing engines.  Same inputs, bitwise-same winner.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.grid import GridConfig, enumerate_grid_configs
+from ..perfmodel.configs import infeasibility_reason, rank_configurations
+from ..simulate.executor import IterationResult, OverlapFlags, simulate_iteration
+from .api import (
+    AutotuneReport,
+    CandidateReport,
+    NoFeasibleConfigError,
+    PlanRequest,
+    SearchSpace,
+    TunedJobConfig,
+)
+
+__all__ = ["autotune"]
+
+
+def _collect_infeasible(
+    request: PlanRequest, space: SearchSpace
+) -> list[tuple[GridConfig, str]]:
+    """(grid, reason) for every enumerated configuration that cannot run."""
+    cfg = request.resolved_model()
+    machine = request.resolved_machine()
+    batch = request.resolved_batch()
+    out: list[tuple[GridConfig, str]] = []
+    for config in enumerate_grid_configs(request.num_gpus, max_gz=space.max_gz):
+        why = infeasibility_reason(cfg, config, batch, machine)
+        if why is not None:
+            out.append((config, why))
+    return out
+
+
+def autotune(
+    request: PlanRequest, space: SearchSpace | None = None
+) -> AutotuneReport:
+    """Search the (grid x algorithm x kernel x overlap) space for the
+    fastest configuration of ``request``'s job.
+
+    Raises :class:`~repro.autotune.api.NoFeasibleConfigError` (with the
+    per-candidate infeasibility reasons) when no grid can run the job.
+    """
+    if not isinstance(request, PlanRequest):
+        raise TypeError(
+            f"autotune() takes a PlanRequest, got {type(request).__name__}; "
+            "build one with repro.PlanRequest(model, num_gpus, machine)"
+        )
+    if space is None:
+        space = SearchSpace()
+    t0 = time.perf_counter()
+    cfg = request.resolved_model()
+    machine = request.resolved_machine()
+    batch = request.resolved_batch()
+    db = request.resolved_db()
+
+    # Stages 1-2: enumerate + analytic pruning (Eqs. 1-7).
+    all_configs = enumerate_grid_configs(request.num_gpus, max_gz=space.max_gz)
+    ranked = rank_configurations(
+        cfg, batch, request.num_gpus, machine, db=db,
+        max_configs=space.prune_k,
+    )
+    if not ranked:
+        infeasible = _collect_infeasible(request, space)
+        raise NoFeasibleConfigError(
+            f"no feasible configuration for {cfg.name} on "
+            f"{request.num_gpus} devices of {machine.name} "
+            f"(batch {batch}; {len(infeasible)} candidates rejected)",
+            reasons={str(c): why for c, why in infeasible},
+        )
+    infeasible = _collect_infeasible(request, space)
+    num_feasible = len(all_configs) - len(infeasible)
+
+    num_sims = 0
+    sim_memo: dict[tuple, IterationResult] = {}
+
+    def simulate(
+        config: GridConfig,
+        overlap: OverlapFlags,
+        kernel_tuning: bool,
+        algo: str | None,
+    ) -> IterationResult:
+        """One timing-only simulation, memoized per (grid, knob combo)."""
+        nonlocal num_sims
+        key = (config.dims, overlap, kernel_tuning, algo)
+        hit = sim_memo.get(key)
+        if hit is not None:
+            return hit
+        num_sims += 1
+        res = simulate_iteration(
+            cfg, batch, config, machine,
+            overlap=overlap, kernel_tuning=kernel_tuning,
+            collective_algo=algo, engine=request.engine,
+            run_salt=request.seed, timing_only=True,
+        )
+        sim_memo[key] = res
+        return res
+
+    # Stage 3: screen the analytic survivors by simulated time.
+    ref_overlap, ref_kernel, ref_algo = space.reference_combo(request)
+    screened: list[tuple[int, float, GridConfig, float]] = []
+    for rank, cand in enumerate(ranked, start=1):
+        res = simulate(cand.config, ref_overlap, ref_kernel, ref_algo)
+        screened.append((rank, res.total_time, cand.config, cand.predicted_time))
+    rank1_sim_time = screened[0][1]
+    # Stable sort on screened time; analytic rank breaks ties.
+    validate_k = space.resolved_validate_k(request)
+    survivors = sorted(screened, key=lambda s: (s[1], s[0]))[:validate_k]
+
+    # Stage 4: full knob sweep over the screened survivors.
+    combos = space.combos()
+    candidates: list[CandidateReport] = []
+    best: tuple[float, CandidateReport, IterationResult] | None = None
+    for rank, screen_time, config, predicted in survivors:
+        cand_best: tuple[float, tuple, IterationResult] | None = None
+        for overlap, kernel_tuning, algo in combos:
+            res = simulate(config, overlap, kernel_tuning, algo)
+            if cand_best is None or res.total_time < cand_best[0]:
+                cand_best = (res.total_time, (overlap, kernel_tuning, algo), res)
+        assert cand_best is not None
+        best_time, (b_ov, b_kt, b_algo), b_res = cand_best
+        report = CandidateReport(
+            config=config,
+            analytic_rank=rank,
+            predicted_comm_time=predicted,
+            screen_time=screen_time,
+            best_time=best_time,
+            best_overlap=b_ov,
+            best_kernel_tuning=b_kt,
+            best_collective_algo=b_algo,
+            algo_choices=dict(b_res.algo_choices),
+        )
+        candidates.append(report)
+        if best is None or best_time < best[0]:
+            best = (best_time, report, b_res)
+    assert best is not None
+    _, win, win_res = best
+    # The ranked report lists validated candidates best-first; equal
+    # times keep analytic order (sort is stable over the survivor list).
+    candidates.sort(key=lambda c: (c.best_time, c.analytic_rank))
+
+    winner = TunedJobConfig(
+        model=cfg.name,
+        machine=machine.name,
+        num_gpus=request.num_gpus,
+        global_batch=batch,
+        config=GridConfig(
+            *win.config.dims,
+            collective_algo=win.best_collective_algo or "flat",
+        ),
+        overlap=win.best_overlap,
+        kernel_tuning=win.best_kernel_tuning,
+        collective_algo=win.best_collective_algo,
+        predicted_comm_time=win.predicted_comm_time,
+        simulated_time=win.best_time,
+        tuning_speedup=win_res.tuning_speedup,
+        algo_choices=dict(win_res.algo_choices),
+    )
+    return AutotuneReport(
+        request=request,
+        space=space,
+        winner=winner,
+        winner_result=win_res,
+        ranked=candidates,
+        rank1_sim_time=rank1_sim_time,
+        infeasible=infeasible,
+        num_enumerated=len(all_configs),
+        num_feasible=num_feasible,
+        num_simulations=num_sims,
+        elapsed_s=time.perf_counter() - t0,
+    )

@@ -1,7 +1,12 @@
 """The communication performance model of Section V-B (Eqs. 1-7)."""
 
 from .bandwidth import BandwidthDatabase, case2_bandwidth, effective_bandwidths
-from .configs import RankedConfig, feasible, rank_configurations
+from .configs import (
+    RankedConfig,
+    feasible,
+    infeasibility_reason,
+    rank_configurations,
+)
 from .hierarchical import (
     AlgorithmChoice,
     choose_algorithm,
@@ -48,6 +53,7 @@ __all__ = [
     "CommBreakdown",
     "RankedConfig",
     "feasible",
+    "infeasibility_reason",
     "rank_configurations",
     "CollectiveVolumes",
     "layer_volumes",

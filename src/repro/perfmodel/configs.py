@@ -8,6 +8,7 @@ first.  "Pick the top few for actual experiments" — Section V-B.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from ..cluster import MachineSpec
@@ -16,7 +17,12 @@ from ..core.grid import GridConfig, enumerate_grid_configs
 from .bandwidth import BandwidthDatabase
 from .model import CommBreakdown, model_comm_time
 
-__all__ = ["RankedConfig", "feasible", "rank_configurations"]
+__all__ = [
+    "RankedConfig",
+    "feasible",
+    "infeasibility_reason",
+    "rank_configurations",
+]
 
 #: Fraction of device memory usable after fragmentation and framework
 #: overheads; applied to the full footprint from the memory model.
@@ -32,33 +38,44 @@ class RankedConfig:
     breakdown: CommBreakdown
 
 
-def feasible(
+def infeasibility_reason(
     cfg: GPTConfig,
     config: GridConfig,
     global_batch: int,
     machine: MachineSpec | None = None,
-) -> bool:
-    """Whether a grid can legally and physically run the model.
+) -> str | None:
+    """Why a grid cannot run the model, or ``None`` when it can.
 
     Checks the 4D algorithm's divisibility requirements (heads over X,
     features over the tensor axes, batch over Z x data) and, when a
     machine is given, that the full per-device footprint — sharded
     weights, gradients, optimizer state, activations under
     checkpointing, and the gathered-W workspace — fits in device memory
-    (:func:`repro.simulate.estimate_memory`).
+    (:func:`repro.simulate.estimate_memory`).  The returned string is the
+    human-readable verdict carried by
+    :class:`repro.autotune.NoFeasibleConfigError`.
     """
     h = cfg.hidden_size
     c = config
     if cfg.num_heads % c.gx:
-        return False
-    if h % (c.gy * c.gz) or h % (c.gx * c.gz):
-        return False
-    if (3 * h) % c.gx or cfg.ffn_hidden % c.gy or cfg.ffn_hidden % (c.gx * c.gz):
-        return False
+        return f"num_heads {cfg.num_heads} not divisible by Gx={c.gx}"
+    if h % (c.gy * c.gz):
+        return f"hidden {h} not divisible by Gy*Gz={c.gy * c.gz}"
+    if h % (c.gx * c.gz):
+        return f"hidden {h} not divisible by Gx*Gz={c.gx * c.gz}"
+    if (3 * h) % c.gx:
+        return f"QKV width {3 * h} not divisible by Gx={c.gx}"
+    if cfg.ffn_hidden % c.gy:
+        return f"FFN width {cfg.ffn_hidden} not divisible by Gy={c.gy}"
+    if cfg.ffn_hidden % (c.gx * c.gz):
+        return f"FFN width {cfg.ffn_hidden} not divisible by Gx*Gz={c.gx * c.gz}"
     if cfg.vocab_size % c.gx:
-        return False
+        return f"vocab {cfg.vocab_size} not divisible by Gx={c.gx}"
     if global_batch % (c.gz * c.gdata):
-        return False
+        return (
+            f"global batch {global_batch} not divisible by "
+            f"Gz*Gdata={c.gz * c.gdata}"
+        )
     if machine is not None:
         # Imported lazily: repro.simulate depends on repro.perfmodel at
         # import time, so the package-level import would be circular.
@@ -70,21 +87,83 @@ def feasible(
         micro = min(global_batch // c.gdata, c.gz)
         footprint = estimate_memory(cfg, config, micro, checkpointing=True)
         if not footprint.fits(machine, headroom=MEMORY_HEADROOM):
-            return False
-    return True
+            need = footprint.total / 1e9
+            have = machine.gpu.memory_bytes * MEMORY_HEADROOM / 1e9
+            return (
+                f"does not fit: needs {need:.1f} GB/device, "
+                f"{have:.1f} GB usable on {machine.gpu.name}"
+            )
+    return None
+
+
+def feasible(
+    cfg: GPTConfig,
+    config: GridConfig,
+    global_batch: int,
+    machine: MachineSpec | None = None,
+) -> bool:
+    """Whether a grid can legally and physically run the model (see
+    :func:`infeasibility_reason` for the individual checks)."""
+    return infeasibility_reason(cfg, config, global_batch, machine) is None
 
 
 def rank_configurations(
-    cfg: GPTConfig,
-    global_batch: int,
-    num_gpus: int,
-    machine: MachineSpec,
+    cfg,
+    global_batch: int | None = None,
+    num_gpus: int | None = None,
+    machine: MachineSpec | None = None,
+    *args,
     db: BandwidthDatabase | None = None,
     max_configs: int | None = None,
 ) -> list[RankedConfig]:
-    """All feasible grids for ``num_gpus`` devices, fastest predicted
-    first.  ``db`` may be passed to reuse a profiled bandwidth database
-    across calls."""
+    """All feasible grids for the job, fastest predicted first.
+
+    The blessed call takes one :class:`repro.autotune.PlanRequest` —
+    ``rank_configurations(request)`` — whose ``top_k`` caps the list and
+    whose ``db`` is reused across calls.  The pre-PR-9 positional
+    signature ``(cfg, global_batch, num_gpus, machine)`` still works;
+    its tuning knobs (``db``, ``max_configs``) are now keyword-only, and
+    passing them positionally emits a :class:`DeprecationWarning`.
+    """
+    if global_batch is None and num_gpus is None and machine is None and not args:
+        from ..autotune.api import PlanRequest
+
+        if isinstance(cfg, PlanRequest):
+            request = cfg
+            return rank_configurations(
+                request.resolved_model(),
+                request.resolved_batch(),
+                request.num_gpus,
+                request.resolved_machine(),
+                db=request.resolved_db(),
+                max_configs=request.top_k,
+            )
+        raise TypeError(
+            "rank_configurations() takes a PlanRequest or "
+            "(cfg, global_batch, num_gpus, machine)"
+        )
+    if args:
+        warnings.warn(
+            "passing db/max_configs to rank_configurations positionally is "
+            "deprecated; pass them as keywords (or use a PlanRequest)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if len(args) > 2:
+            raise TypeError(
+                f"rank_configurations() takes at most 6 positional "
+                f"arguments ({4 + len(args)} given)"
+            )
+        db = args[0] if len(args) >= 1 else db
+        max_configs = args[1] if len(args) >= 2 else max_configs
+    if global_batch is None or num_gpus is None or machine is None:
+        raise TypeError(
+            "rank_configurations() missing global_batch/num_gpus/machine"
+        )
+    if isinstance(machine, str):
+        from ..cluster import get_machine
+
+        machine = get_machine(machine)
     if db is None:
         db = BandwidthDatabase.profile(machine)
     ranked: list[RankedConfig] = []

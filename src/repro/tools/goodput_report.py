@@ -145,9 +145,19 @@ def _report(
 
 
 def main(argv: list[str] | None = None) -> int:
+    from .common import planner_parent_parser
+
     parser = argparse.ArgumentParser(
         prog="repro.tools.goodput_report",
         description=__doc__.splitlines()[0],
+        parents=[
+            planner_parent_parser(
+                seed_help="seed of the stochastic failure replay "
+                "(default: 0)",
+                out_help="also write BENCH_goodput_<machine>.json to "
+                "this directory",
+            )
+        ],
     )
     parser.add_argument("model")
     parser.add_argument("gpus", type=int)
@@ -171,10 +181,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--simulate-iter-time", action="store_true",
         help="derive --iter-time per machine by simulating the best "
-        "configuration (vectorized timing-only engine) instead of the "
-        "fixed default",
+        "configuration (planned via the unified autotune API on the "
+        "selected --engine / --collective-algo) instead of the fixed "
+        "default",
     )
-    parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--replacement-wait", type=float, default=1800.0,
         help="seconds until a replacement node arrives (elastic model)",
@@ -187,10 +197,6 @@ def main(argv: list[str] | None = None) -> int:
         "--comm-penalty", type=float, default=0.05,
         help="extra efficiency loss of the shrunken grid, in [0, 1)",
     )
-    parser.add_argument(
-        "--out", default=None,
-        help="also write BENCH_goodput_<machine>.json to this directory",
-    )
     args = parser.parse_args(argv)
 
     fm = FailureModel(
@@ -202,13 +208,17 @@ def main(argv: list[str] | None = None) -> int:
     for machine_name in args.machines:
         iter_time = args.iter_time
         if args.simulate_iter_time:
-            from ..simulate import best_configuration, default_global_batch
+            from ..autotune import PlanRequest
+            from ..simulate import best_configuration
 
             _, sim = best_configuration(
-                get_model(args.model),
-                default_global_batch(args.gpus),
-                args.gpus,
-                get_machine(machine_name),
+                PlanRequest(
+                    model=args.model,
+                    num_gpus=args.gpus,
+                    machine=machine_name,
+                    collective_algo=args.collective_algo,
+                    engine=args.engine,
+                )
             )
             iter_time = sim.total_time
             print(

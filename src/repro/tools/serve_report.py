@@ -189,9 +189,17 @@ def _frontier_table(results: list[ServingResult]) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from .common import planner_parent_parser
+
     parser = argparse.ArgumentParser(
         prog="repro.tools serve-report",
         description=__doc__.splitlines()[0],
+        parents=[
+            planner_parent_parser(
+                seed_help="arrival-trace / engine-smoke seed (default: 0)",
+                out_help="BENCH json directory",
+            )
+        ],
     )
     parser.add_argument("model", help="model name, e.g. GPT-20B")
     parser.add_argument("tp", type=int, help="tensor-parallel degree")
@@ -204,7 +212,6 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated offered loads (requests/s)",
     )
     parser.add_argument("--num-requests", type=int, default=64)
-    parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--trace", choices=("poisson", "bursty"), default="poisson"
     )
@@ -212,7 +219,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--block-size", type=int, default=16)
     parser.add_argument("--num-blocks", type=int, default=8192)
     parser.add_argument(
-        "--algo", choices=("flat", "hierarchical", "auto"), default="auto"
+        "--algo",
+        dest="collective_algo",
+        choices=("flat", "hierarchical", "auto"),
+        default=argparse.SUPPRESS,
+        help="deprecated alias for --collective-algo",
     )
     parser.add_argument("--slo-multiplier", type=float, default=3.0)
     parser.add_argument(
@@ -240,14 +251,13 @@ def main(argv: list[str] | None = None) -> int:
         "--no-smoke", action="store_true",
         help="skip the tiny real-engine numerical smoke run",
     )
-    parser.add_argument("--out", default=None, help="BENCH json directory")
     args = parser.parse_args(argv)
 
     cfg = get_model(args.model)
     machine = get_machine(args.machine)
     rates = [float(r) for r in args.rates.split(",") if r]
     model = ServingModel(
-        cfg, machine, tp=args.tp, collective_algo=args.algo
+        cfg, machine, tp=args.tp, collective_algo=args.collective_algo
     )
     batching = BatchingConfig(
         max_batch=args.max_batch,
@@ -269,7 +279,7 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"Serving frontier: {cfg.name} tp={args.tp} on {machine.name} "
         f"({args.trace} trace, {args.num_requests} requests, "
-        f"seed {args.seed}, algo {args.algo})"
+        f"seed {args.seed}, algo {args.collective_algo})"
     )
     print()
     print(_frontier_table(results))
@@ -314,7 +324,7 @@ def main(argv: list[str] | None = None) -> int:
                 "tp": args.tp,
                 "trace": args.trace,
                 "seed": args.seed,
-                "algo": args.algo,
+                "algo": args.collective_algo,
                 "num_requests": args.num_requests,
             },
         )
@@ -401,7 +411,7 @@ def _chaos_main(args, cfg, machine, model, batching, rates, trace) -> int:
                 "trace": args.trace,
                 "seed": args.seed,
                 "chaos_seed": args.chaos_seed,
-                "algo": args.algo,
+                "algo": args.collective_algo,
                 "num_requests": args.num_requests,
                 "mtbfs_s": [m if m is not None else "inf" for m in mtbfs],
                 "restart_time_s": args.restart_time,
