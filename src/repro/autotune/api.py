@@ -176,10 +176,17 @@ class SearchSpace:
     kernel_tuning: tuple[bool, ...] = (True, False)
     collective_algos: tuple[str | None, ...] = ("flat", "hierarchical", "auto")
     max_gz: int | None = None
+    #: Largest sequence-parallel degree the enumerator may try.  ``None``
+    #: (the default) keeps the classic 4D space (``G_seq = 1`` only);
+    #: set e.g. ``max_gs=8`` to let the tuner trade ring-attention KV
+    #: rotation against activation memory and smaller per-rank GEMMs.
+    max_gs: int | None = None
 
     def __post_init__(self) -> None:
         if self.prune_k < 1:
             raise ValueError(f"prune_k must be >= 1, got {self.prune_k}")
+        if self.max_gs is not None and self.max_gs < 1:
+            raise ValueError(f"max_gs must be >= 1, got {self.max_gs}")
         if not self.overlap_flags or not self.kernel_tuning or not self.collective_algos:
             raise ValueError("every knob dimension needs at least one value")
         for algo in self.collective_algos:
@@ -258,7 +265,7 @@ class TunedJobConfig:
             "machine": self.machine,
             "num_gpus": self.num_gpus,
             "global_batch": self.global_batch,
-            "grid": list(self.config.dims),
+            "grid": list(self.config.full_dims),
             "collective_algo": self.collective_algo or "flat",
             "overlap": _overlap_dict(self.overlap),
             "kernel_tuning": self.kernel_tuning,
@@ -285,7 +292,7 @@ class CandidateReport:
 
     def to_json(self) -> dict[str, Any]:
         return {
-            "grid": list(self.config.dims),
+            "grid": list(self.config.full_dims),
             "analytic_rank": self.analytic_rank,
             "predicted_comm_time_s": self.predicted_comm_time,
             "screen_time_s": self.screen_time,

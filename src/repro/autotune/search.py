@@ -51,7 +51,9 @@ def _collect_infeasible(
     machine = request.resolved_machine()
     batch = request.resolved_batch()
     out: list[tuple[GridConfig, str]] = []
-    for config in enumerate_grid_configs(request.num_gpus, max_gz=space.max_gz):
+    for config in enumerate_grid_configs(
+        request.num_gpus, max_gz=space.max_gz, max_gs=space.max_gs
+    ):
         why = infeasibility_reason(cfg, config, batch, machine)
         if why is not None:
             out.append((config, why))
@@ -81,10 +83,12 @@ def autotune(
     db = request.resolved_db()
 
     # Stages 1-2: enumerate + analytic pruning (Eqs. 1-7).
-    all_configs = enumerate_grid_configs(request.num_gpus, max_gz=space.max_gz)
+    all_configs = enumerate_grid_configs(
+        request.num_gpus, max_gz=space.max_gz, max_gs=space.max_gs
+    )
     ranked = rank_configurations(
         cfg, batch, request.num_gpus, machine, db=db,
-        max_configs=space.prune_k,
+        max_configs=space.prune_k, max_gs=space.max_gs,
     )
     if not ranked:
         infeasible = _collect_infeasible(request, space)
@@ -108,7 +112,7 @@ def autotune(
     ) -> IterationResult:
         """One timing-only simulation, memoized per (grid, knob combo)."""
         nonlocal num_sims
-        key = (config.dims, overlap, kernel_tuning, algo)
+        key = (config.full_dims, overlap, kernel_tuning, algo)
         hit = sim_memo.get(key)
         if hit is not None:
             return hit
@@ -171,7 +175,7 @@ def autotune(
         num_gpus=request.num_gpus,
         global_batch=batch,
         config=GridConfig(
-            *win.config.dims,
+            *win.config.full_dims,
             collective_algo=win.best_collective_algo or "flat",
         ),
         overlap=win.best_overlap,

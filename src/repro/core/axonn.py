@@ -62,15 +62,20 @@ def init(
     gy: int,
     gz: int,
     gdata: int = 1,
+    gs: int = 1,
     machine: str | MachineSpec | None = None,
     trace: bool = True,
     collective_algo: str = "flat",
 ) -> AxoNN:
     """Initialize a 4D-parallel context (the `axonn.init` analogue).
 
+    ``gs`` opens the sequence-parallel ring axis (``G_seq`` contiguous
+    sequence shards with ring-attention KV rotation); the default of 1
+    is the classic 4D grid.
+
     When ``machine`` is given, a block placement of the grid's
-    ``gx*gy*gz*gdata`` devices on that machine is attached, enabling the
-    performance layers; otherwise the context is purely functional.
+    ``gx*gy*gz*gdata*gs`` devices on that machine is attached, enabling
+    the performance layers; otherwise the context is purely functional.
 
     ``collective_algo`` (``"flat"`` | ``"hierarchical"`` | ``"auto"``)
     picks how node-straddling collectives execute; activate it around
@@ -78,7 +83,7 @@ def init(
     algorithms need ``machine`` — the decomposition is defined by the
     node topology.
     """
-    cfg = GridConfig(gx, gy, gz, gdata, collective_algo=collective_algo)
+    cfg = GridConfig(gx, gy, gz, gdata, gs, collective_algo=collective_algo)
     placement = None
     if machine is not None:
         spec = get_machine(machine) if isinstance(machine, str) else machine

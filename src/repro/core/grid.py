@@ -1,4 +1,4 @@
-"""The 4D virtual grid of Section V-A/V-B.
+"""The 4D virtual grid of Section V-A/V-B (plus the sequence axis).
 
 A job's ``G`` GPUs are organized as ``G_x x G_y x G_z x G_data`` with the
 paper's hierarchy: **X-tensor parallelism innermost, then Y, then Z, and
@@ -10,6 +10,19 @@ so consecutive ranks differ in ``x`` first — e.g. with
 ``G_x = G_y = G_z = G_data = 2`` the X groups are (0,1), (2,3), (4,5),
 (6,7) and the Y groups are (0,2), (1,3), (4,6), (5,7), exactly the
 worked example in Section V-B.
+
+The long-context extension adds an optional **sequence-parallel axis**
+of degree ``G_seq`` (ring attention over contiguous sequence shards).
+It sits *outside* data parallelism in the rank numbering,
+
+    r = x + G_x * (y + G_y * (z + G_z * (d + G_data * s)))
+
+so the ``s = 0`` sub-grid is numbered exactly like the plain 4D grid
+and every ``G_seq = 1`` configuration is bit-for-bit the old layout
+(rank math, group membership, golden traces).  ``coords_of`` keeps its
+4-tuple contract with the sequence coordinate folded out; use
+:meth:`Grid4D.coords5_of` / :meth:`Grid4D.seq_coord` and
+``group_along("seq", rank)`` for the new axis.
 """
 
 from __future__ import annotations
@@ -25,6 +38,11 @@ __all__ = ["GridConfig", "Grid4D", "enumerate_grid_configs"]
 
 #: Names of the four axes in hierarchy order (innermost first).
 AXES = ("x", "y", "z", "data")
+
+#: All five axes including the optional sequence-parallel axis
+#: (outermost).  Code that predates sequence parallelism iterates
+#: ``AXES``; the sequence axis only appears where ``G_seq > 1`` matters.
+AXES5 = AXES + ("seq",)
 
 #: Legal values of :attr:`GridConfig.collective_algo`.
 COLLECTIVE_ALGOS = ("flat", "hierarchical", "auto")
@@ -47,10 +65,11 @@ class GridConfig:
     gy: int
     gz: int
     gdata: int = 1
+    gs: int = 1
     collective_algo: str = field(default="flat", compare=False)
 
     def __post_init__(self) -> None:
-        for axis, g in zip(AXES, self.dims):
+        for axis, g in zip(AXES5, self.full_dims):
             if g < 1:
                 raise ValueError(f"G_{axis} must be >= 1, got {g}")
         if self.collective_algo not in COLLECTIVE_ALGOS:
@@ -64,8 +83,13 @@ class GridConfig:
         return (self.gx, self.gy, self.gz, self.gdata)
 
     @property
+    def full_dims(self) -> tuple[int, int, int, int, int]:
+        """All five axis degrees, ``(G_x, G_y, G_z, G_data, G_seq)``."""
+        return (self.gx, self.gy, self.gz, self.gdata, self.gs)
+
+    @property
     def total(self) -> int:
-        return self.gx * self.gy * self.gz * self.gdata
+        return self.gx * self.gy * self.gz * self.gdata * self.gs
 
     @property
     def gtensor(self) -> int:
@@ -76,12 +100,15 @@ class GridConfig:
         """The configuration with X and Y roles exchanged (the
         'transpose' applied to every other layer)."""
         return GridConfig(
-            self.gy, self.gx, self.gz, self.gdata,
+            self.gy, self.gx, self.gz, self.gdata, self.gs,
             collective_algo=self.collective_algo,
         )
 
     def __str__(self) -> str:
-        return f"(Gx={self.gx}, Gy={self.gy}, Gz={self.gz}, Gdata={self.gdata})"
+        base = f"(Gx={self.gx}, Gy={self.gy}, Gz={self.gz}, Gdata={self.gdata}"
+        if self.gs > 1:
+            base += f", Gseq={self.gs}"
+        return base + ")"
 
 
 class Grid4D:
@@ -132,16 +159,28 @@ class Grid4D:
 
     # -- coordinate arithmetic ---------------------------------------------
 
-    def rank_of(self, x: int, y: int, z: int, d: int = 0) -> int:
-        """Global rank of coordinates (x, y, z, d)."""
+    def rank_of(self, x: int, y: int, z: int, d: int = 0, s: int = 0) -> int:
+        """Global rank of coordinates (x, y, z, d[, s])."""
         c = self.config
-        for v, g, axis in ((x, c.gx, "x"), (y, c.gy, "y"), (z, c.gz, "z"), (d, c.gdata, "data")):
+        for v, g, axis in (
+            (x, c.gx, "x"), (y, c.gy, "y"), (z, c.gz, "z"),
+            (d, c.gdata, "data"), (s, c.gs, "seq"),
+        ):
             if not 0 <= v < g:
                 raise ValueError(f"{axis}-coordinate {v} outside [0, {g})")
-        return x + c.gx * (y + c.gy * (z + c.gz * d))
+        return x + c.gx * (y + c.gy * (z + c.gz * (d + c.gdata * s)))
 
     def coords_of(self, rank: int) -> tuple[int, int, int, int]:
-        """Coordinates (x, y, z, d) of a global rank."""
+        """Coordinates (x, y, z, d) of a global rank.
+
+        The sequence coordinate, outermost in the numbering, is folded
+        out so the 4-tuple contract of the plain grid is preserved; use
+        :meth:`coords5_of` when the sequence shard index matters.
+        """
+        return self.coords5_of(rank)[:4]
+
+    def coords5_of(self, rank: int) -> tuple[int, int, int, int, int]:
+        """Coordinates (x, y, z, d, s) of a global rank."""
         c = self.config
         if not 0 <= rank < c.total:
             raise ValueError(f"rank {rank} outside [0, {c.total})")
@@ -150,17 +189,27 @@ class Grid4D:
         y = rank % c.gy
         rank //= c.gy
         z = rank % c.gz
-        d = rank // c.gz
-        return (x, y, z, d)
+        rank //= c.gz
+        d = rank % c.gdata
+        s = rank // c.gdata
+        return (x, y, z, d, s)
+
+    def seq_coord(self, rank: int) -> int:
+        """Sequence-shard index of a global rank (0 when ``G_seq == 1``)."""
+        return self.coords5_of(rank)[4]
 
     def all_ranks(self) -> list[int]:
         return list(range(self.config.total))
 
     def iter_coords(self):
-        """Yield (x, y, z, d) for every rank in rank order."""
+        """Yield (x, y, z, d) for every rank in rank order.
+
+        With ``G_seq > 1`` the 4-tuple repeats once per sequence shard
+        (the seq coordinate is folded out, matching :meth:`coords_of`).
+        """
         c = self.config
-        for d, z, y, x in product(
-            range(c.gdata), range(c.gz), range(c.gy), range(c.gx)
+        for s, d, z, y, x in product(
+            range(c.gs), range(c.gdata), range(c.gz), range(c.gy), range(c.gx)
         ):
             yield (x, y, z, d)
 
@@ -169,24 +218,25 @@ class Grid4D:
     def group_along(self, axis: str, rank: int) -> ProcessGroup:
         """The process group containing ``rank`` that varies ``axis``.
 
-        ``axis`` is one of ``"x"``, ``"y"``, ``"z"``, ``"data"``.  Group
-        members are ordered by their coordinate along the axis, so group
-        rank == axis coordinate.
+        ``axis`` is one of ``"x"``, ``"y"``, ``"z"``, ``"data"``,
+        ``"seq"``.  Group members are ordered by their coordinate along
+        the axis, so group rank == axis coordinate (for ``"seq"`` that is
+        the sequence-shard index, i.e. ring position).
         """
-        if axis not in AXES:
-            raise ValueError(f"axis must be one of {AXES}, got {axis!r}")
-        x, y, z, d = self.coords_of(rank)
-        key_coords = {"x": (0, y, z, d), "y": (x, 0, z, d), "z": (x, y, 0, d), "data": (x, y, z, 0)}[axis]
+        if axis not in AXES5:
+            raise ValueError(f"axis must be one of {AXES5}, got {axis!r}")
+        axis_i = AXES5.index(axis)
+        key_coords = list(self.coords5_of(rank))
+        key_coords[axis_i] = 0
         cache_key = (axis, self.rank_of(*key_coords))
         cached = self._group_cache.get(cache_key)
         if cached is not None:
             return cached
-        c = self.config
-        n = {"x": c.gx, "y": c.gy, "z": c.gz, "data": c.gdata}[axis]
+        n = self.config.full_dims[axis_i]
         members = []
         for i in range(n):
             coords = list(key_coords)
-            coords[AXES.index(axis)] = i
+            coords[axis_i] = i
             members.append(self.rank_of(*coords))
         group = ProcessGroup(tuple(members))
         self._group_cache[cache_key] = group
@@ -204,10 +254,16 @@ class Grid4D:
         return out
 
     def tensor_block_ranks(self, d: int) -> list[int]:
-        """All ranks of data-parallel replica ``d`` (one full model copy)."""
+        """All ranks of data-parallel replica ``d`` (one full model copy).
+
+        With ``G_seq > 1`` the replica spans every sequence shard: each
+        shard holds the same weights and a contiguous slice of the
+        sequence, so the block is ``G_seq`` times larger.
+        """
         c = self.config
         return [
-            self.rank_of(x, y, z, d)
+            self.rank_of(x, y, z, d, s)
+            for s in range(c.gs)
             for z in range(c.gz)
             for y in range(c.gy)
             for x in range(c.gx)
@@ -218,14 +274,20 @@ def enumerate_grid_configs(
     num_gpus: int,
     max_gz: int | None = None,
     powers_of_two_only: bool | None = None,
+    max_gs: int | None = None,
 ) -> list[GridConfig]:
-    """All 4-factorizations of ``num_gpus`` into (Gx, Gy, Gz, Gdata).
+    """All factorizations of ``num_gpus`` into (Gx, Gy, Gz, Gdata[, Gseq]).
 
     The paper's performance model ranks exactly this space.  For
     power-of-two GPU counts only power-of-two factors are considered
     (NCCL/RCCL process groups follow the hardware's structure); counts
     with other prime factors — e.g. Alps' 6144 = 3 * 2^11 — enumerate
     all divisors so the odd factor can land on a legal axis.
+
+    ``max_gs`` opens the sequence-parallel axis: when > 1, each split is
+    additionally factored by a ring degree ``gs <= max_gs``.  The default
+    (``None``/1) keeps the classic 4D space, and the ``gs = 1`` configs
+    always come first in the original order.
     """
     if num_gpus < 1:
         raise ValueError("num_gpus must be >= 1")
@@ -238,14 +300,19 @@ def enumerate_grid_configs(
             fs = [f for f in fs if f & (f - 1) == 0]
         return fs
 
+    seq_degrees = [
+        f for f in factors(num_gpus) if f <= (max_gs or 1)
+    ]
     configs = []
-    for gx in factors(num_gpus):
-        rem_x = num_gpus // gx
-        for gy in factors(rem_x):
-            rem_y = rem_x // gy
-            for gz in factors(rem_y):
-                if max_gz is not None and gz > max_gz:
-                    continue
-                gdata = rem_y // gz
-                configs.append(GridConfig(gx, gy, gz, gdata))
+    for gs in seq_degrees:
+        rem_s = num_gpus // gs
+        for gx in factors(rem_s):
+            rem_x = rem_s // gx
+            for gy in factors(rem_x):
+                rem_y = rem_x // gy
+                for gz in factors(rem_y):
+                    if max_gz is not None and gz > max_gz:
+                        continue
+                    gdata = rem_y // gz
+                    configs.append(GridConfig(gx, gy, gz, gdata, gs))
     return configs

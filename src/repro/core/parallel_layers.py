@@ -281,17 +281,23 @@ class ParallelEmbedding(Module):
         self.block = dim // n
         self.weight = Parameter(rng.normal(0.0, std, (num_embeddings, dim)))
 
-    def forward(self, ids_by_z: dict[int, np.ndarray], d: int = 0) -> RankDict:
-        """``ids_by_z``: integer ids per Z coordinate, shape (B_loc, S)."""
+    def forward(self, ids_by_z: dict, d: int = 0) -> RankDict:
+        """``ids_by_z``: integer ids per shard, shape (B_loc, S_loc).
+
+        Keys are either a Z coordinate (the classic 4D layout) or a
+        ``(z, s)`` tuple when the batch is additionally sequence-sharded
+        over the ring axis.
+        """
         grid = self.grid
         c = grid.config
         out: RankDict = {}
-        # One gather per Z shard, then feature slices per (x, y).
-        for z, ids in ids_by_z.items():
+        # One gather per batch shard, then feature slices per (x, y).
+        for key, ids in ids_by_z.items():
+            z, s = key if isinstance(key, tuple) else (key, 0)
             full = F.embedding(self.weight, np.asarray(ids))
             for y in range(c.gy):
                 for x in range(c.gx):
                     i = y if self.feature_axis == "y" else x
                     sl = slice(i * self.block, (i + 1) * self.block)
-                    out[grid.rank_of(x, y, z, d)] = full[..., sl]
+                    out[grid.rank_of(x, y, z, d, s)] = full[..., sl]
         return out

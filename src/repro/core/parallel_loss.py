@@ -93,26 +93,30 @@ def head_loss_over_grid(
     weights_by_zd: dict[tuple[int, int], np.ndarray],
     col_axis: str = "x",
 ) -> Tensor:
-    """Total weighted NLL across all (Z, data) batch shards.
+    """Total weighted NLL across all (Z, data[, seq]) batch shards.
 
     For each shard, uses the logit replicas at coordinate 0 of the
     replicated axis and the X-group (or Y-group, per ``col_axis``)
-    vocab-parallel loss.  Shard losses add up to the global token mean
-    because the supplied weights are globally normalized.
+    vocab-parallel loss.  Shard keys are ``(z, d)`` tuples, or
+    ``(z, d, s)`` when the sequence axis is active.  Shard losses add up
+    to the global token mean because the supplied weights are globally
+    normalized.
     """
     c = grid.config
     total: Tensor | None = None
-    for (z, d), targets in targets_by_zd.items():
+    for key, targets in targets_by_zd.items():
+        z, d = key[0], key[1]
+        s = key[2] if len(key) > 2 else 0
         if col_axis == "x":
-            ranks = [grid.rank_of(i, 0, z, d) for i in range(c.gx)]
+            ranks = [grid.rank_of(i, 0, z, d, s) for i in range(c.gx)]
         else:
-            ranks = [grid.rank_of(0, i, z, d) for i in range(c.gy)]
+            ranks = [grid.rank_of(0, i, z, d, s) for i in range(c.gy)]
         group = ProcessGroup(tuple(ranks))
         shard = vocab_parallel_cross_entropy(
             [logits_parts[r] for r in ranks],
             group,
             targets,
-            weights_by_zd[(z, d)],
+            weights_by_zd[key],
             tracer=grid.tracer,
         )
         total = shard if total is None else total + shard

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..config import GPTConfig
 from ..nn.module import Module
+from ..nn.sequence_parallel import ring_causal_attention
 from ..nn.transformer import GPT, causal_attention
 from ..telemetry.spans import traced as _traced
 from ..tensor import Tensor
@@ -103,10 +104,29 @@ class ParallelBlock(Module):
         h1 = self.ln1(x_parts, d)
         qkv = self.qkv(h1, d)  # layout B: (B_loc, S, 3*H/Gx), cols = [Qi Ki Vi]
         attn_out: RankDict = {}
-        for r in block:
-            t = qkv[r]
-            q, k, v = t[..., :hb], t[..., hb : 2 * hb], t[..., 2 * hb :]
-            attn_out[r] = causal_attention(q, k, v, self.heads_local)
+        if grid.config.gs == 1:
+            for r in block:
+                t = qkv[r]
+                q, k, v = t[..., :hb], t[..., hb : 2 * hb], t[..., 2 * hb :]
+                attn_out[r] = causal_attention(q, k, v, self.heads_local)
+        else:
+            # Sequence axis active: attention is the one place shards
+            # couple, so each (x, y, z) runs a KV ring over its sequence
+            # group (ranks ordered by shard index).
+            for r in block:
+                if r in attn_out:
+                    continue
+                ring = grid.group_along("seq", r)
+                qs, ks, vs = [], [], []
+                for rr in ring.ranks:
+                    t = qkv[rr]
+                    qs.append(t[..., :hb])
+                    ks.append(t[..., hb : 2 * hb])
+                    vs.append(t[..., 2 * hb :])
+                outs = ring_causal_attention(
+                    qs, ks, vs, self.heads_local, ring, tracer=grid.tracer
+                )
+                attn_out.update(dict(zip(ring.ranks, outs)))
         proj_out = self.proj(attn_out, d)  # B -> A
         x_parts = {r: x_parts[r] + proj_out[r] for r in block}
 
@@ -188,15 +208,34 @@ class ParallelGPT(Module):
         b, s = ids.shape
         if s > self.cfg.seq_len:
             raise ValueError(f"sequence {s} exceeds max {self.cfg.seq_len}")
+        if c.gs > 1 and s % c.gs:
+            raise ValueError(f"sequence {s} must divide by G_seq={c.gs}")
         shards = self._shard_batch(ids)
         pos = np.arange(s)[None, :]
+        sl = s // c.gs
 
         logits: RankDict = {}
         for d in range(c.gdata):
-            ids_by_z = {z: shards[(z, d)] for z in range(c.gz)}
-            pos_by_z = {
-                z: pos.repeat(shards[(z, d)].shape[0], axis=0) for z in range(c.gz)
-            }
+            if c.gs == 1:
+                ids_by_z = {z: shards[(z, d)] for z in range(c.gz)}
+                pos_by_z = {
+                    z: pos.repeat(shards[(z, d)].shape[0], axis=0)
+                    for z in range(c.gz)
+                }
+            else:
+                # Each sequence shard holds a contiguous slice [si*sl,
+                # (si+1)*sl) of its Z-shard's samples, with *global*
+                # positional ids so wpe matches the serial model.
+                ids_by_z = {}
+                pos_by_z = {}
+                for z in range(c.gz):
+                    sample = shards[(z, d)]
+                    for si in range(c.gs):
+                        sel = slice(si * sl, (si + 1) * sl)
+                        ids_by_z[(z, si)] = sample[:, sel]
+                        pos_by_z[(z, si)] = pos[:, sel].repeat(
+                            sample.shape[0], axis=0
+                        )
             tok = self.wte(ids_by_z, d)
             pe = self.wpe(pos_by_z, d)
             x = {r: tok[r] + pe[r] for r in grid.tensor_block_ranks(d)}
@@ -251,19 +290,39 @@ class ParallelGPT(Module):
         rows = []
         for d in range(c.gdata):
             for z in range(c.gz):
-                cols = [
-                    logits[self.grid.rank_of(i, 0, z, d)] for i in range(c.gx)
-                ]
-                rows.append(Tensor.concatenate(cols, axis=2) if cols[0].ndim == 3 else Tensor.concatenate(cols, axis=1))
+                seq_parts = []
+                for si in range(c.gs):
+                    cols = [
+                        logits[self.grid.rank_of(i, 0, z, d, si)]
+                        for i in range(c.gx)
+                    ]
+                    seq_parts.append(
+                        Tensor.concatenate(cols, axis=2)
+                        if cols[0].ndim == 3
+                        else Tensor.concatenate(cols, axis=1)
+                    )
+                rows.append(
+                    seq_parts[0]
+                    if c.gs == 1
+                    else Tensor.concatenate(seq_parts, axis=1)
+                )
         return Tensor.concatenate(rows, axis=0)
 
     # -- loss --------------------------------------------------------------------
 
     @_traced(name="gpt.loss", cat="train")
     def loss(self, ids: np.ndarray, loss_mask: np.ndarray | None = None) -> Tensor:
-        """Next-token NLL identical to ``repro.nn.GPT.loss``."""
+        """Next-token NLL identical to ``repro.nn.GPT.loss``.
+
+        With the sequence axis active the *full* sequence is forwarded
+        (so S splits evenly into G_seq shards); the final position's
+        logits, which have no target, are dropped from the last shard
+        before the loss.  Shard losses sum to the same global token
+        mean as the serial model because the weights are globally
+        normalized before slicing.
+        """
         ids = np.asarray(ids)
-        inputs = ids[:, :-1]
+        c = self.grid.config
         targets = ids[:, 1:]
         if loss_mask is None:
             mask = np.ones_like(targets, dtype=np.float64)
@@ -274,9 +333,40 @@ class ParallelGPT(Module):
             raise ValueError("loss_mask masks out every token")
         weights = mask / denom
 
-        logits = self.forward_parts(inputs)
-        tgt_shards = self._shard_batch(targets)
-        w_shards = self._shard_batch(weights)
+        if c.gs == 1:
+            logits = self.forward_parts(ids[:, :-1])
+            tgt_shards = self._shard_batch(targets)
+            w_shards = self._shard_batch(weights)
+            return head_loss_over_grid(
+                self.grid, logits, tgt_shards, w_shards, "x"
+            )
+
+        s = ids.shape[1]
+        if s % c.gs:
+            raise ValueError(f"sequence {s} must divide by G_seq={c.gs}")
+        sl = s // c.gs
+        logits = dict(self.forward_parts(ids))
+        # The last shard's final position predicts past the batch end;
+        # drop that logit column (differentiably — its activations still
+        # exist, they just carry no loss).
+        if sl > 1:
+            for d in range(c.gdata):
+                for z in range(c.gz):
+                    for i in range(c.gx):
+                        r = self.grid.rank_of(i, 0, z, d, c.gs - 1)
+                        logits[r] = logits[r][:, : sl - 1, :]
+        tgt_rows = self._shard_batch(targets)
+        w_rows = self._shard_batch(weights)
+        tgt_shards: dict[tuple[int, int, int], np.ndarray] = {}
+        w_shards: dict[tuple[int, int, int], np.ndarray] = {}
+        for (z, d), rows in tgt_rows.items():
+            for si in range(c.gs):
+                length = sl if si < c.gs - 1 else sl - 1
+                if length == 0:
+                    continue  # S == G_seq: the last shard has no target
+                sel = slice(si * sl, si * sl + length)
+                tgt_shards[(z, d, si)] = rows[:, sel]
+                w_shards[(z, d, si)] = w_rows[(z, d)][:, sel]
         return head_loss_over_grid(self.grid, logits, tgt_shards, w_shards, "x")
 
     # -- serial interop -------------------------------------------------------------

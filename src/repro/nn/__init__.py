@@ -17,7 +17,19 @@ from .training import (
     TrainingReport,
     train_with_recovery,
 )
-from .transformer import GPT, MLP, Block, CausalSelfAttention, causal_attention
+from .sequence_parallel import (
+    RING_KV_TAG,
+    ring_causal_attention,
+    shard_sequence,
+)
+from .transformer import (
+    GPT,
+    MLP,
+    Block,
+    CausalSelfAttention,
+    causal_attention,
+    causal_mask,
+)
 
 __all__ = [
     "Module",
@@ -32,6 +44,10 @@ __all__ = [
     "MLP",
     "CausalSelfAttention",
     "causal_attention",
+    "causal_mask",
+    "RING_KV_TAG",
+    "ring_causal_attention",
+    "shard_sequence",
     "SGD",
     "AdamW",
     "WarmupDecaySchedule",

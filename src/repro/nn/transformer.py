@@ -17,7 +17,26 @@ from ..tensor import functional as F
 from .layers import Dropout, Embedding, LayerNorm, Linear
 from .module import Module
 
-__all__ = ["CausalSelfAttention", "MLP", "Block", "GPT"]
+__all__ = ["CausalSelfAttention", "MLP", "Block", "GPT", "causal_mask"]
+
+_MASK_CACHE: dict[tuple[int, int], np.ndarray] = {}
+
+
+def causal_mask(s: int, kv_len: int | None = None) -> np.ndarray:
+    """Read-only boolean causal mask of shape ``(s, kv_len or s)``.
+
+    Memoized per shape: every block of every forward needs the same
+    O(S^2) mask, so rebuilding it per call dominated allocation at long
+    S.  The rectangular form (``kv_len != s``) serves ring attention,
+    where a query shard attends to a KV block of a different length.
+    """
+    key = (s, s if kv_len is None else kv_len)
+    m = _MASK_CACHE.get(key)
+    if m is None:
+        m = np.tril(np.ones(key, dtype=bool))
+        m.setflags(write=False)
+        _MASK_CACHE[key] = m
+    return m
 
 
 def causal_attention(
@@ -36,8 +55,12 @@ def causal_attention(
 
     qh, kh, vh = split(q), split(k), split(v)  # (B, nh, S, hd)
     scores = (qh @ kh.t()) * (1.0 / np.sqrt(hd))
-    mask = np.tril(np.ones((s, s), dtype=bool))
-    scores = F.where_mask(scores, mask, -1e30)
+    # -inf, not a finite "very negative" constant: a finite fill can end
+    # up *above* legitimate scores (large-magnitude float32 activations
+    # reach below -1e30), silently handing the softmax mass to future
+    # positions.  With max-subtracted softmax, exp(-inf - m) == 0 exactly
+    # for any finite row max, so the fill is dtype-independent.
+    scores = F.where_mask(scores, causal_mask(s), -np.inf)
     att = F.softmax(scores, axis=-1)
     out = att @ vh  # (B, nh, S, hd)
     return out.transpose((0, 2, 1, 3)).reshape(b, s, h)

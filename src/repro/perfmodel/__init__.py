@@ -20,10 +20,18 @@ from .model import (
     layer_comm_time,
     model_comm_time,
 )
+from .seq_parallel import (
+    ring_attention_layer_time,
+    ring_hop_time,
+    ring_kv_payload_bytes,
+    seq_comm_time,
+    seq_ring_time,
+)
 from .volume import (
     CollectiveVolumes,
     gpt_forward_backward_volumes,
     layer_volumes,
+    seq_ring_volumes,
 )
 from .ring import (
     all_gather_time,
@@ -58,4 +66,10 @@ __all__ = [
     "CollectiveVolumes",
     "layer_volumes",
     "gpt_forward_backward_volumes",
+    "seq_ring_volumes",
+    "ring_kv_payload_bytes",
+    "ring_hop_time",
+    "seq_ring_time",
+    "ring_attention_layer_time",
+    "seq_comm_time",
 ]

@@ -89,19 +89,20 @@ def effective_bandwidths(
     machine: MachineSpec,
     db: BandwidthDatabase | None = None,
 ) -> dict[str, float]:
-    """The vector ``(beta_x, beta_y, beta_z, beta_data)`` for a 4D grid.
+    """The vector ``(beta_x, beta_y, beta_z, beta_data, beta_seq)``.
 
     For each hierarchy level ``i``: Case 1 (fits in node) reads the
     profiled database; Case 2 applies Eq. 7.  Levels of size 1 get
-    ``inf`` (no communication happens).
+    ``inf`` (no communication happens).  The sequence axis is the
+    outermost level, so its ring almost always lands in Case 2.
     """
     if db is None:
         db = BandwidthDatabase.profile(machine)
     gnode = machine.gpus_per_node
-    dims = config.dims
+    dims = config.full_dims
     betas: dict[str, float] = {}
     inner = 1
-    for axis, g in zip(("x", "y", "z", "data"), dims):
+    for axis, g in zip(("x", "y", "z", "data", "seq"), dims):
         if g == 1:
             betas[axis] = float("inf")
         elif inner * g <= gnode:

@@ -71,6 +71,10 @@ def infeasibility_reason(
         return f"FFN width {cfg.ffn_hidden} not divisible by Gx*Gz={c.gx * c.gz}"
     if cfg.vocab_size % c.gx:
         return f"vocab {cfg.vocab_size} not divisible by Gx={c.gx}"
+    if cfg.seq_len % c.gs:
+        return f"seq_len {cfg.seq_len} not divisible by Gseq={c.gs}"
+    if c.gs > cfg.seq_len:
+        return f"Gseq={c.gs} exceeds seq_len {cfg.seq_len}"
     if global_batch % (c.gz * c.gdata):
         return (
             f"global batch {global_batch} not divisible by "
@@ -115,6 +119,7 @@ def rank_configurations(
     *args,
     db: BandwidthDatabase | None = None,
     max_configs: int | None = None,
+    max_gs: int | None = None,
 ) -> list[RankedConfig]:
     """All feasible grids for the job, fastest predicted first.
 
@@ -167,7 +172,7 @@ def rank_configurations(
     if db is None:
         db = BandwidthDatabase.profile(machine)
     ranked: list[RankedConfig] = []
-    for config in enumerate_grid_configs(num_gpus):
+    for config in enumerate_grid_configs(num_gpus, max_gs=max_gs):
         if not feasible(cfg, config, global_batch, machine):
             continue
         bd = model_comm_time(cfg, global_batch, config, machine, db=db)

@@ -78,17 +78,29 @@ def gpt_layer_shapes(
 
 @dataclass
 class CommBreakdown:
-    """Per-collective communication seconds for one iteration."""
+    """Per-collective communication seconds for one iteration.
+
+    ``ring_seq`` is the sequence-parallel ring-attention rotation time
+    (zero on classic 4D grids); see :mod:`repro.perfmodel.seq_parallel`.
+    """
 
     ag_z: float = 0.0
     rs_z: float = 0.0
     ar_y: float = 0.0
     ar_x: float = 0.0
     ar_data: float = 0.0
+    ring_seq: float = 0.0
 
     @property
     def total(self) -> float:
-        return self.ag_z + self.rs_z + self.ar_y + self.ar_x + self.ar_data
+        return (
+            self.ag_z
+            + self.rs_z
+            + self.ar_y
+            + self.ar_x
+            + self.ar_data
+            + self.ring_seq
+        )
 
     def __add__(self, other: "CommBreakdown") -> "CommBreakdown":
         return CommBreakdown(
@@ -97,6 +109,7 @@ class CommBreakdown:
             self.ar_y + other.ar_y,
             self.ar_x + other.ar_x,
             self.ar_data + other.ar_data,
+            self.ring_seq + other.ring_seq,
         )
 
 
@@ -107,27 +120,36 @@ def layer_comm_time(
     dtype_bytes: int = BF16_BYTES,
 ) -> CommBreakdown:
     """Eqs. 1–5 for one layer.  For transposed layers the roles (and
-    bandwidths) of X and Y are swapped."""
+    bandwidths) of X and Y are swapped.
+
+    With the sequence axis active (``G_seq > 1``), activation blocks
+    shrink by ``G_seq`` (each shard holds ``S / G_seq`` of every
+    sequence) while weight shards are unchanged; the weight-gradient
+    reduction across sequence shards is charged like an extra
+    data-parallel all-reduce at the sequence axis' bandwidth.
+    """
     gx, gy = config.gx, config.gy
     bx, by = betas["x"], betas["y"]
     if layer.transposed:
         gx, gy = gy, gx
         bx, by = by, bx
-    gz, gd = config.gz, config.gdata
+    gz, gd, gs = config.gz, config.gdata, config.gs
     bz, bd = betas["z"], betas["data"]
+    bs = betas.get("seq", float("inf"))
     m, k, n = layer.m, layer.k, layer.n
 
     shard = k * n / (gx * gy * gz) * dtype_bytes  # W_hat bytes
     block = k * n / (gx * gy) * dtype_bytes  # W_{j,i} bytes
-    out_block = m * n / (gz * gx) * dtype_bytes  # O_hat bytes
-    in_block = m * k / (gz * gy) * dtype_bytes  # dI_hat bytes
+    out_block = m * n / (gz * gx * gs) * dtype_bytes  # O_hat bytes
+    in_block = m * k / (gz * gy * gs) * dtype_bytes  # dI_hat bytes
 
     return CommBreakdown(
         ag_z=all_gather_time(shard, gz, bz),
         rs_z=reduce_scatter_time(block, gz, bz),
         ar_y=all_reduce_time(out_block, gy, by),
         ar_x=all_reduce_time(in_block, gx, bx),
-        ar_data=all_reduce_time(shard, gd, bd),
+        ar_data=all_reduce_time(shard, gd, bd)
+        + all_reduce_time(shard, gs, bs),
     )
 
 
@@ -155,4 +177,12 @@ def model_comm_time(
     total = CommBreakdown()
     for layer in gpt_layer_shapes(cfg, per_group, include_head=include_head):
         total = total + layer_comm_time(layer, config, betas, dtype_bytes)
+    if config.gs > 1:
+        from .seq_parallel import ring_kv_payload_bytes, seq_ring_time
+
+        payload = ring_kv_payload_bytes(cfg, config, per_group, dtype_bytes)
+        total = total + CommBreakdown(
+            ring_seq=cfg.num_layers
+            * seq_ring_time(payload, config.gs, betas["seq"])
+        )
     return total

@@ -22,7 +22,12 @@ from ..config import GPTConfig
 from ..core.grid import GridConfig
 from .model import LayerShape, gpt_layer_shapes
 
-__all__ = ["CollectiveVolumes", "layer_volumes", "gpt_forward_backward_volumes"]
+__all__ = [
+    "CollectiveVolumes",
+    "layer_volumes",
+    "gpt_forward_backward_volumes",
+    "seq_ring_volumes",
+]
 
 
 @dataclass(frozen=True)
@@ -34,6 +39,7 @@ class CollectiveVolumes:
     rs_z: float = 0.0
     ar_fwd: float = 0.0  # the contraction-axis all-reduce of line 4
     ar_bwd: float = 0.0  # the column-axis all-reduce of line 12
+    seq_ring: float = 0.0  # ring-attention KV rotation p2p bytes
 
     def __add__(self, other: "CollectiveVolumes") -> "CollectiveVolumes":
         return CollectiveVolumes(
@@ -41,6 +47,7 @@ class CollectiveVolumes:
             self.rs_z + other.rs_z,
             self.ar_fwd + other.ar_fwd,
             self.ar_bwd + other.ar_bwd,
+            self.seq_ring + other.seq_ring,
         )
 
 
@@ -58,21 +65,27 @@ def layer_volumes(
 
     ``dtype_bytes`` defaults to 8 because the functional runtime
     computes in float64; pass 2 for bf16 wire volumes.
+
+    With ``G_seq > 1`` every sequence shard runs its own copy of each
+    group family (the group count scales by ``G_seq``) while activation
+    blocks shrink by ``G_seq``; weight buffers are unchanged, so total
+    gather/scatter bytes grow with the ring degree and activation
+    all-reduce bytes stay constant.
     """
     gx, gy = config.gx, config.gy
     if layer.transposed:
         gx, gy = gy, gx
-    gz = config.gz
+    gz, gs = config.gz, config.gs
     m, k, n = layer.m, layer.k, layer.n
 
-    n_zgroups = config.gx * config.gy
-    n_fwd_groups = gx * gz  # contraction-axis groups
-    n_bwd_groups = gy * gz  # column-axis groups
+    n_zgroups = config.gx * config.gy * gs
+    n_fwd_groups = gx * gz * gs  # contraction-axis groups
+    n_bwd_groups = gy * gz * gs  # column-axis groups
 
     shard = k * n / (config.gx * config.gy * gz) * dtype_bytes
     block = k * n / (config.gx * config.gy) * dtype_bytes
-    out_block = m * n / (gz * gx) * dtype_bytes
-    in_block = m * k / (gz * gy) * dtype_bytes
+    out_block = m * n / (gz * gx * gs) * dtype_bytes
+    in_block = m * k / (gz * gy * gs) * dtype_bytes
 
     return CollectiveVolumes(
         ag_z=n_zgroups * shard,
@@ -97,4 +110,38 @@ def gpt_forward_backward_volumes(
     total = CollectiveVolumes()
     for layer in gpt_layer_shapes(scaled, batch_per_replica, include_head=False):
         total = total + layer_volumes(layer, config, dtype_bytes)
-    return total
+    return total + seq_ring_volumes(
+        scaled, batch_per_replica, config, dtype_bytes
+    )
+
+
+def seq_ring_volumes(
+    cfg: GPTConfig,
+    batch_per_replica: int,
+    config: GridConfig,
+    dtype_bytes: int = 8,
+    seq_len: int | None = None,
+) -> CollectiveVolumes:
+    """Ring-attention KV-rotation p2p bytes of one replica's forward.
+
+    Each of the ``G_x * G_y * G_z`` sequence rings per replica runs
+    ``G_seq`` rotation steps per layer, each step one fused K+V message
+    per member — ``G_seq^2`` p2p records of
+
+        P = 2 * B_loc * (S / G_seq) * (H / G_x) * dtype_bytes
+
+    per ring per layer (counting convention: one record per traced
+    ``send_recv``, sized by its payload, matching the tracer).  Zero on
+    classic grids: the ``G_seq = 1`` self-copy ring is skipped entirely
+    in the plain attention path.
+    """
+    if config.gs <= 1:
+        return CollectiveVolumes()
+    s = seq_len if seq_len is not None else cfg.seq_len
+    b_loc = batch_per_replica / config.gz
+    payload = (
+        2.0 * b_loc * (s / config.gs) * (cfg.hidden_size / config.gx) * dtype_bytes
+    )
+    n_rings = config.gx * config.gy * config.gz
+    per_layer = n_rings * config.gs**2 * payload
+    return CollectiveVolumes(seq_ring=cfg.num_layers * per_layer)

@@ -33,20 +33,24 @@ def send_recv(
     """Transfer ``buffer`` from rank ``src`` to rank ``dst``.
 
     Returns the array as received at ``dst`` (a copy — the destination
-    owns its memory, as after MPI_Recv).  Under fault injection the
-    blocking receive runs the injector's timeout/retry/backoff loop: a
-    dropped message (or one delayed past the retry budget) raises
+    owns its memory, as after MPI_Recv).  ``src == dst`` is a traced
+    no-op copy: a degree-1 ring (e.g. a ``G_seq = 1`` sequence group)
+    degenerates to a self-transfer, and tracing it like any other
+    message keeps schedules uniform across grid degrees.  Under fault
+    injection the blocking receive runs the injector's
+    timeout/retry/backoff loop: a dropped message (or one delayed past
+    the retry budget) raises
     :class:`~repro.runtime.faults.CommTimeoutError`, a dead endpoint
     raises :class:`~repro.runtime.faults.RankFailure`.
     """
-    if src == dst:
-        raise ValueError("send_recv requires distinct ranks")
     inj = injector if injector is not None else _faults.get_active_injector()
     if inj is not None:
         buffer = inj.before_p2p(src, dst, buffer, tag, tracer=tracer)
     tel = _telemetry()
     if tel is not None:
-        tel.count_collective("p2p", buffer.nbytes, tag=tag, group_size=2)
+        tel.count_collective(
+            "p2p", buffer.nbytes, tag=tag, group_size=1 if src == dst else 2
+        )
     if tracer is not None:
         tracer.record_p2p(
             src,

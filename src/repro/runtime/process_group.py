@@ -184,10 +184,15 @@ class CommTracer:
         With ``dropped=True`` only the send is recorded: the message
         left the sender but never reached the receiver, leaving exactly
         the unmatched-send footprint the validator flags as a hang.
+
+        A self-transfer (``src == dst``, the degenerate ring of a
+        degree-1 group) records a singleton group with both the send and
+        the recv event on the same rank; the validator pairs them over
+        the ``(r, r)`` channel.
         """
         if not self.enabled:
             return
-        group = ProcessGroup((src, dst))
+        group = ProcessGroup((src,) if src == dst else (src, dst))
         self.records.append(
             CollectiveRecord("p2p", group, nbytes, tag, dtype, count)
         )

@@ -58,7 +58,7 @@ __all__ = [
 #: NumPy batch path.  Both produce bitwise-identical timings.
 ENGINES = ("scalar", "vectorized")
 
-_AXIS_INDEX = {"x": 0, "y": 1, "z": 2, "data": 3}
+_AXIS_INDEX = {"x": 0, "y": 1, "z": 2, "data": 3, "seq": 4}
 
 
 def deterministic_jitter(key: str, amplitude: float) -> float:
@@ -100,13 +100,15 @@ def _axis_groups(grid: Grid4D, axis: str) -> np.ndarray:
     Row members are in coordinate order (ascending global rank — the
     exact member order of :meth:`Grid4D.group_along`).
     """
-    gx, gy, gz, gd = grid.config.dims
-    ranks = np.arange(grid.config.total, dtype=np.int64).reshape(gd, gz, gy, gx)
+    gx, gy, gz, gd, gs = grid.config.full_dims
+    ranks = np.arange(grid.config.total, dtype=np.int64).reshape(
+        gs, gd, gz, gy, gx
+    )
     i = _AXIS_INDEX[axis]
-    # ranks[d, z, y, x]: move the varying axis innermost, flatten the rest.
-    src_axis = {0: 3, 1: 2, 2: 1, 3: 0}[i]
-    moved = np.moveaxis(ranks, src_axis, 3)
-    return np.ascontiguousarray(moved.reshape(-1, grid.config.dims[i]))
+    # ranks[s, d, z, y, x]: move the varying axis innermost, flatten the rest.
+    src_axis = {0: 4, 1: 3, 2: 2, 3: 1, 4: 0}[i]
+    moved = np.moveaxis(ranks, src_axis, 4)
+    return np.ascontiguousarray(moved.reshape(-1, grid.config.full_dims[i]))
 
 
 def _ring_order(rows: np.ndarray, nodes: np.ndarray, num_gpus: int) -> np.ndarray:
@@ -179,7 +181,7 @@ def vectorized_group_timing(
     grid: Grid4D, placement: Placement, axis: str
 ) -> LinkTiming:
     """Vectorized :func:`~repro.simulate.network_sim.measured_group_bandwidth`."""
-    size = grid.config.dims[_AXIS_INDEX[axis]]
+    size = grid.config.full_dims[_AXIS_INDEX[axis]]
     if size == 1:
         return LinkTiming(float("inf"), 0.0, 1)
     nodes, local = _placement_arrays(placement)
@@ -212,10 +214,10 @@ def vectorized_group_timing(
 def vectorized_group_timings(
     grid: Grid4D, placement: Placement
 ) -> dict[str, LinkTiming]:
-    """Link timings for all four axes, computed with array batching."""
+    """Link timings for all five axes, computed with array batching."""
     return {
         axis: vectorized_group_timing(grid, placement, axis)
-        for axis in ("x", "y", "z", "data")
+        for axis in ("x", "y", "z", "data", "seq")
     }
 
 
@@ -257,7 +259,7 @@ def vectorized_hierarchical_group_timing(
     grid: Grid4D, placement: Placement, axis: str
 ) -> HierTiming | None:
     """Vectorized :func:`~repro.simulate.network_sim.hierarchical_group_timing`."""
-    p = grid.config.dims[_AXIS_INDEX[axis]]
+    p = grid.config.full_dims[_AXIS_INDEX[axis]]
     if p == 1:
         return None
     nodes, local = _placement_arrays(placement)
@@ -339,10 +341,10 @@ def vectorized_hierarchical_group_timing(
 def vectorized_hierarchical_group_timings(
     grid: Grid4D, placement: Placement
 ) -> dict[str, HierTiming | None]:
-    """Two-level timings for all four axes (``None`` = flat only)."""
+    """Two-level timings for all five axes (``None`` = flat only)."""
     return {
         axis: vectorized_hierarchical_group_timing(grid, placement, axis)
-        for axis in ("x", "y", "z", "data")
+        for axis in ("x", "y", "z", "data", "seq")
     }
 
 
@@ -354,9 +356,9 @@ _HIER_TIMINGS_CACHE: dict[tuple, dict[str, HierTiming | None]] = {}
 
 def _cache_key(grid: Grid4D, placement: Placement) -> tuple:
     # Placement is a frozen dataclass over a frozen MachineSpec; grid
-    # geometry is fully captured by its dims.  Both timing families are
-    # pure functions of this pair.
-    return (placement, grid.config.dims)
+    # geometry is fully captured by its five axis degrees.  Both timing
+    # families are pure functions of this pair.
+    return (placement, grid.config.full_dims)
 
 
 def cached_group_timings(

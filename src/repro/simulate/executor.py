@@ -108,10 +108,15 @@ _jitter = deterministic_jitter
 def _local_gemm_shapes(
     layer: LayerShape, config: GridConfig
 ) -> tuple[int, int, int]:
-    """Per-rank local GEMM dims (m_l, k_l, n_l) for one FC layer."""
+    """Per-rank local GEMM dims (m_l, k_l, n_l) for one FC layer.
+
+    The row dimension (batch x sequence) is sharded by both the batch
+    axis Z and the sequence axis: each sequence shard holds S/G_seq of
+    every token row.
+    """
     g_contract = config.gx if layer.transposed else config.gy
     g_col = config.gy if layer.transposed else config.gx
-    m_l = max(1, layer.m // config.gz)
+    m_l = max(1, layer.m // (config.gz * config.gs))
     k_l = max(1, layer.k // g_contract)
     n_l = max(1, layer.n // g_col)
     return m_l, k_l, n_l
@@ -120,15 +125,20 @@ def _local_gemm_shapes(
 def _attention_compute(
     cfg: GPTConfig, config: GridConfig, batch_per_group: int, gemm: GemmModel
 ) -> float:
-    """Per-layer, per-rank forward time of the attention core.
+    """Per-layer, per-rank forward time of one attention *block*.
 
     Each rank computes ``heads/G_x`` heads over its ``B/(G_z G_data)``
     samples: two (s x hd) x (hd x s)-ish batched GEMMs per head.  These
     small GEMMs run at low efficiency, which the size model captures.
+
+    With sequence parallelism the rank holds ``S/G_seq`` query rows and
+    visits KV blocks of the same length, so this is the time of *one*
+    ring step; the full attention core runs ``G_seq`` such blocks
+    (``G_seq = 1`` degenerates to the whole (S x S) core).
     """
     b_loc = max(1, batch_per_group // config.gz)
     heads_loc = max(1, cfg.num_heads // config.gx)
-    s, hd = cfg.seq_len, cfg.head_dim
+    s, hd = max(1, cfg.seq_len // config.gs), cfg.head_dim
     per_head = gemm.time(s, hd, s, "NN") + gemm.time(s, s, hd, "NN")
     return b_loc * heads_loc * per_head
 
@@ -147,7 +157,9 @@ def _memory_bound_overheads(
     state.  Both are memory-bound and invisible to the GEMM model.
     """
     hbm = machine.gpu.hbm_bw
-    rows_local = max(1, batch_per_group * cfg.seq_len // config.gz)
+    rows_local = max(
+        1, batch_per_group * cfg.seq_len // (config.gz * config.gs)
+    )
     h_local = max(1, cfg.hidden_size // max(config.gx, config.gy))
     # ~10 activation-sized HBM passes per transformer layer (2 LN, 2
     # residuals, GELU on 4h, biases), bf16.
@@ -328,6 +340,10 @@ def simulate_iteration(
         raise ValueError(
             f"global batch {global_batch} not divisible by G_data {config.gdata}"
         )
+    if config.gs > 1 and cfg.seq_len % config.gs:
+        raise ValueError(
+            f"seq_len {cfg.seq_len} not divisible by G_seq {config.gs}"
+        )
     if compute_slowdown < 1.0 or comm_slowdown < 1.0:
         raise ValueError("slowdown factors must be >= 1")
     algo = collective_algo if collective_algo is not None else config.collective_algo
@@ -378,8 +394,34 @@ def simulate_iteration(
         base = plan.tuned_times[name] if kernel_tuning else plan.default_times[name]
         return base * compute_slowdown
 
-    attn_fwd = _attention_compute(cfg, config, batch_per_group, gemm)
-    attn_fwd *= compute_slowdown
+    attn_blk = _attention_compute(cfg, config, batch_per_group, gemm)
+    attn_blk *= compute_slowdown
+    # Full attention core = G_seq ring blocks (one block on classic grids).
+    attn_fwd = config.gs * attn_blk
+    # Ring-attention KV rotation: each of the G_seq steps overlaps one
+    # block's compute with one fused K+V hop on the sequence ring; only
+    # the part of the hop not hidden behind the block is exposed.
+    seq_hop_f = seq_hop_b = 0.0
+    seq_exp_fwd = seq_exp_bwd = 0.0
+    if config.gs > 1:
+        ts = timings["seq"]
+        b_loc = max(1, batch_per_group // config.gz)
+        ring_payload = (
+            2.0
+            * b_loc
+            * (cfg.seq_len / config.gs)
+            * (cfg.hidden_size / config.gx)
+            * DTYPE_BYTES
+        )
+        seq_hop_f = comm_slowdown * (ts.latency + ring_payload / ts.bandwidth)
+        # The backward hop carries the KV pair plus its gradients.
+        seq_hop_b = comm_slowdown * (
+            ts.latency + 2.0 * ring_payload / ts.bandwidth
+        )
+        seq_exp_fwd = config.gs * max(attn_blk, seq_hop_f) - attn_fwd
+        seq_exp_bwd = (
+            config.gs * max(2.0 * attn_blk, seq_hop_b) - 2.0 * attn_fwd
+        )
     elementwise, optimizer_time = _memory_bound_overheads(
         cfg, config, batch_per_group, machine
     )
@@ -423,7 +465,7 @@ def simulate_iteration(
     # serialize).  The Z stream carries weight all-gathers and gradient
     # reduce-scatters; the X/Y streams carry activation all-reduces.
     comp_t = 0.0
-    comm = {"z": 0.0, "ar_fwd": 0.0, "ar_bwd": 0.0}
+    comm = {"z": 0.0, "ar_fwd": 0.0, "ar_bwd": 0.0, "seq": 0.0}
     num_events = 0
 
     def emit(stream, name, start, end):
@@ -445,6 +487,13 @@ def simulate_iteration(
             comp_t = max(comp_t, comm["z"])
         emit("compute", f"{name}.fwd", comp_t, comp_t + fwd_c[i])
         comp_t += fwd_c[i]
+        if seq_exp_fwd > 0 and name.endswith(".qkv"):
+            # Exposed part of the KV ring rotation (the hidden part ran
+            # inside the attention share of fwd_c).
+            start = max(comp_t, comm["seq"])
+            end = start + seq_exp_fwd
+            emit("comm.seq", f"{name}.ring_seq", start, end)
+            comp_t = comm["seq"] = end
         if c["ar_fwd"] > 0:
             # Forward all-reduce: blocking (the output is needed now).
             start = max(comp_t, comm["ar_fwd"])
@@ -470,6 +519,11 @@ def simulate_iteration(
         pre_dw = bwd_c[i] - dw_time
         emit("compute", f"{name}.bwd", comp_t, comp_t + pre_dw)
         comp_t += pre_dw
+        if seq_exp_bwd > 0 and name.endswith(".qkv"):
+            start = max(comp_t, comm["seq"])
+            end = start + seq_exp_bwd
+            emit("comm.seq", f"{name}.ring_seq(bwd)", start, end)
+            comp_t = comm["seq"] = end
         if c["ar_bwd"] > 0:
             if overlap.oar:
                 ar_start = max(comm["ar_bwd"], comp_t)
@@ -519,7 +573,10 @@ def simulate_iteration(
     total = t + dp_time + optimizer_time
 
     compute_total = sum(fwd_c) + sum(bwd_c) + optimizer_time
-    raw_comm = dp_time + sum(
+    # Wire time of every KV rotation hop, hidden or not (one ring per
+    # attention core, i.e. per transformer block).
+    seq_raw = cfg.num_layers * config.gs * (seq_hop_f + seq_hop_b)
+    raw_comm = dp_time + seq_raw + sum(
         c["ag_z"] * (2 if activation_checkpointing else 1)
         + c["rs_z"] + c["ar_fwd"] + c["ar_bwd"]
         for c in colls
@@ -531,7 +588,7 @@ def simulate_iteration(
     total = max(total, compute_total)
 
     algo_choices: dict[str, str] = {}
-    for axis, size in zip(("x", "y", "z", "data"), config.dims):
+    for axis, size in zip(("x", "y", "z", "data", "seq"), config.full_dims):
         if size <= 1:
             algo_choices[axis] = "n/a"
             continue
@@ -549,10 +606,22 @@ def simulate_iteration(
         raw_comm_time=raw_comm,
         config=config,
         tuning_speedup=tuned_speedup,
-        details={
-            "dp_time": dp_time,
-            "attention_fwd_per_block": attn_fwd,
-        },
+        details=(
+            {
+                "dp_time": dp_time,
+                "attention_fwd_per_block": attn_fwd,
+            }
+            if config.gs == 1
+            else {
+                "dp_time": dp_time,
+                "attention_fwd_per_block": attn_fwd,
+                "ring_seq_payload_bytes": ring_payload,
+                "ring_seq_hop_fwd": seq_hop_f,
+                "ring_seq_hop_bwd": seq_hop_b,
+                "ring_seq_exposed_fwd": seq_exp_fwd,
+                "ring_seq_exposed_bwd": seq_exp_bwd,
+            }
+        ),
         algo_choices=algo_choices,
         num_events=num_events,
     )

@@ -68,8 +68,15 @@ def _activation_bytes(
     batch_per_replica: int,
     checkpointing: bool,
 ) -> float:
-    """Live activation bytes on one device during the backward pass."""
-    rows = max(1, batch_per_replica // config.gz) * cfg.seq_len
+    """Live activation bytes on one device during the backward pass.
+
+    Sequence parallelism shards the token rows by ``G_seq``, and ring
+    attention keeps only one (S/G_seq x S/G_seq) score block live at a
+    time — the quadratic attention term shrinks by ``G_seq^2``, which is
+    what makes long contexts fit at all.
+    """
+    s_loc = max(1, cfg.seq_len // config.gs)
+    rows = max(1, batch_per_replica // config.gz) * s_loc
     h_y = cfg.hidden_size / config.gy  # layout-A feature shard
     h_x = cfg.hidden_size / config.gx  # layout-B feature shard
     b_loc = max(1, batch_per_replica // config.gz)
@@ -81,7 +88,7 @@ def _activation_bytes(
     block_ws = (
         rows * h_y * BF16 * 4  # ln1, proj out, ln2, fc2 out (layout A)
         + rows * h_x * BF16 * 4  # q, k, v, attn out (layout B)
-        + 2 * b_loc * heads_loc * cfg.seq_len**2 * BF16  # scores, probs
+        + 2 * b_loc * heads_loc * s_loc**2 * BF16  # scores, probs
         + 2 * rows * (cfg.ffn_hidden / config.gx) * BF16  # fc1 out, gelu
     )
     boundary = rows * h_y * BF16  # the residual stream entering a block

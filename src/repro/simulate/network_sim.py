@@ -135,7 +135,8 @@ def measured_group_bandwidth(
 def group_timings(
     grid: Grid4D, placement: Placement, engine: str = "scalar"
 ) -> dict[str, LinkTiming]:
-    """Link timings for all four axes of the grid.
+    """Link timings for all five axes of the grid (the sequence axis is
+    size 1 on classic 4D grids and prices to ``inf`` bandwidth).
 
     ``engine="scalar"`` walks every rank in Python (the legacy reference
     path); ``"vectorized"`` dispatches to the NumPy batch engine of
@@ -150,7 +151,7 @@ def group_timings(
         raise ValueError(f"engine must be 'scalar' or 'vectorized', got {engine!r}")
     return {
         axis: measured_group_bandwidth(grid, placement, axis)
-        for axis in ("x", "y", "z", "data")
+        for axis in ("x", "y", "z", "data", "seq")
     }
 
 
@@ -236,7 +237,7 @@ def hierarchical_group_timing(
 def hierarchical_group_timings(
     grid: Grid4D, placement: Placement, engine: str = "scalar"
 ) -> dict[str, HierTiming | None]:
-    """Two-level timings for all four axes (``None`` = flat only).
+    """Two-level timings for all five axes (``None`` = flat only).
 
     Same ``engine`` contract as :func:`group_timings`.
     """
@@ -248,5 +249,5 @@ def hierarchical_group_timings(
         raise ValueError(f"engine must be 'scalar' or 'vectorized', got {engine!r}")
     return {
         axis: hierarchical_group_timing(grid, placement, axis)
-        for axis in ("x", "y", "z", "data")
+        for axis in ("x", "y", "z", "data", "seq")
     }

@@ -54,7 +54,8 @@ def _print_infeasible(err: NoFeasibleConfigError) -> None:
 
 def _axis_algos(choices: dict[str, str]) -> str:
     return "/".join(
-        _ALGO_SHORT[choices.get(ax, "n/a")] for ax in ("x", "y", "z", "data")
+        _ALGO_SHORT[choices.get(ax, "n/a")]
+        for ax in ("x", "y", "z", "data", "seq")
     )
 
 
@@ -68,8 +69,8 @@ def _rank_table(report, request, num_gpus: int) -> None:
     cfg = request.resolved_model()
     batch = request.resolved_batch()
     header = (
-        f"{'#':<4}{'config':<34}{'pred comm':<12}{'batch time':<12}"
-        f"{'mem/GPU':<10}{'Tflop/s/GPU':<12}{'algo x/y/z/d':<16}"
+        f"{'#':<4}{'config':<37}{'pred comm':<12}{'batch time':<12}"
+        f"{'mem/GPU':<10}{'Tflop/s/GPU':<12}{'algo x/y/z/d/s':<18}"
     )
     print(header)
     print("-" * len(header))
@@ -79,24 +80,24 @@ def _rank_table(report, request, num_gpus: int) -> None:
         mem = estimate_memory(cfg, cand.config, batch // cand.config.gdata)
         per_gpu = sustained_flops(cfg, batch, cand.best_time) / num_gpus
         print(
-            f"{i:<4}{str(cand.config):<34}"
+            f"{i:<4}{str(cand.config):<37}"
             f"{cand.predicted_comm_time:<12.4f}{cand.best_time:<12.4f}"
             f"{mem.total / 1e9:<10.1f}{per_gpu / 1e12:<12.1f}"
-            f"{_axis_algos(cand.algo_choices):<16}"
+            f"{_axis_algos(cand.algo_choices):<18}"
         )
 
 
 def _optimize_table(report) -> None:
     """The autotuner's ranked evidence table, best simulated time first."""
     header = (
-        f"{'#':<4}{'config':<34}{'best time':<12}{'screened':<12}"
+        f"{'#':<4}{'config':<37}{'best time':<12}{'screened':<12}"
         f"{'pred comm':<12}{'overlap':<14}{'tuned':<7}{'algo':<6}"
     )
     print(header)
     print("-" * len(header))
     for i, cand in enumerate(report.ranked, start=1):
         print(
-            f"{i:<4}{str(cand.config):<34}"
+            f"{i:<4}{str(cand.config):<37}"
             f"{cand.best_time:<12.4f}{cand.screen_time:<12.4f}"
             f"{cand.predicted_comm_time:<12.4f}"
             f"{_overlap_str(cand.best_overlap):<14}"
@@ -133,6 +134,11 @@ def main(argv: list[str] | None = None) -> int:
         help="analytic survivors screened by simulation in --optimize "
         "(default: 24)",
     )
+    parser.add_argument(
+        "--max-gs", type=int, default=None,
+        help="largest sequence-parallel (ring attention) degree the "
+        "enumerator may try (default: 1, i.e. classic 4D grids only)",
+    )
     args = parser.parse_args(argv)
 
     request = PlanRequest(
@@ -155,10 +161,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     try:
         if args.optimize:
-            space = SearchSpace(prune_k=max(args.prune_k, args.top))
+            space = SearchSpace(
+                prune_k=max(args.prune_k, args.top), max_gs=args.max_gs
+            )
             report = autotune(request, space)
         else:
-            report = autotune(request, SearchSpace.pinned(request))
+            import dataclasses
+
+            space = dataclasses.replace(
+                SearchSpace.pinned(request), max_gs=args.max_gs
+            )
+            report = autotune(request, space)
     except NoFeasibleConfigError as err:
         _print_infeasible(err)
         return 1

@@ -91,6 +91,16 @@ def _scenario_axonn_4d_hier() -> CommTracer:
         return _gpt_step(grid, batch=4)
 
 
+def _scenario_axonn_seq_ring() -> CommTracer:
+    """Sequence-parallel ring attention: a ``(Gx=2, Gseq=2)`` grid whose
+    attention cores rotate fused K+V blocks around the sequence rings via
+    traced ``send_recv`` (tag ``seq.ring_kv``) — the golden pins the ring
+    schedule alongside the usual 4D collectives."""
+    tracer = CommTracer()
+    grid = Grid4D(GridConfig(2, 1, 1, 1, 2), tracer=tracer)
+    return _gpt_step(grid, batch=2)
+
+
 def _scenario_fsdp() -> CommTracer:
     tracer = CommTracer()
     grid = make_degenerate_grid("fsdp", 4, tracer=tracer)
@@ -131,6 +141,7 @@ def _scenario_moe() -> CommTracer:
 GOLDEN_SCENARIOS = {
     "axonn_4d": _scenario_axonn_4d,
     "axonn_4d_hier": _scenario_axonn_4d_hier,
+    "axonn_seq_ring": _scenario_axonn_seq_ring,
     "fsdp": _scenario_fsdp,
     "megatron": _scenario_megatron,
     "pipeline": _scenario_pipeline,

@@ -63,7 +63,7 @@ def _write_bench(args, name: str, points) -> None:
                 {
                     "model": p.model,
                     "num_gpus": p.num_gpus,
-                    "grid": list(p.config.dims),
+                    "grid": list(p.config.full_dims),
                     "batch_time_s": p.result.total_time,
                     "pflops": p.metrics.pflops,
                 }

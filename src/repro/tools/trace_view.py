@@ -33,9 +33,10 @@ __all__ = ["main"]
 
 def _parse_grid(text: str) -> GridConfig:
     parts = [int(p) for p in text.split(",")]
-    if len(parts) != 4:
+    if len(parts) not in (4, 5):
         raise argparse.ArgumentTypeError(
-            "grid must be four comma-separated integers: GX,GY,GZ,GDATA"
+            "grid must be four or five comma-separated integers: "
+            "GX,GY,GZ,GDATA[,GSEQ]"
         )
     return GridConfig(*parts)
 

@@ -279,8 +279,24 @@ class TestPointToPointAndRooted:
         assert out is not buf  # the destination owns a copy
         assert tr.records[0].op == "p2p"
         assert tr.records[0].bytes_per_rank == 48
-        with pytest.raises(ValueError):
-            send_recv(buf, 1, 1)
+
+    def test_send_recv_self_transfer(self):
+        """src == dst is a traced no-op copy (degree-1 rings compose)."""
+        from repro.runtime import send_recv
+        from repro.runtime.validate import assert_valid_schedule
+
+        tr = CommTracer()
+        buf = np.arange(6.0)
+        out = send_recv(buf, src=1, dst=1, tracer=tr, tag="ring")
+        np.testing.assert_array_equal(out, buf)
+        assert out is not buf  # still a fresh copy, like any recv
+        assert tr.records[0].op == "p2p"
+        assert tr.records[0].group.ranks == (1,)
+        # Both the send and the recv event land on rank 1 and pair up
+        # over the (1, 1) channel — the validator sees a clean schedule.
+        assert [e.op for e in tr.events] == ["send", "recv"]
+        assert {e.rank for e in tr.events} == {1}
+        assert_valid_schedule(tr)
 
     def test_scatter_gather_roundtrip(self):
         from repro.runtime import gather, scatter

@@ -58,7 +58,7 @@ class TestNetworkSim:
         grid = Grid4D(GridConfig(2, 2, 2, 2))
         placement = Placement(PERLMUTTER, 16)
         t = group_timings(grid, placement)
-        assert set(t) == {"x", "y", "z", "data"}
+        assert set(t) == {"x", "y", "z", "data", "seq"}
 
     def test_congestion_grows_with_job_size(self):
         assert congestion_factor(1) == 1.0
